@@ -1,0 +1,43 @@
+"""Ablation: compiled C kernels vs the NumPy fallback.
+
+Quantifies what compiler auto-vectorization buys per format — the
+portability story of Section IV-E (the library stays correct and usable
+without any compiler, just slower).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro import config
+from repro.api import build_format
+from repro.bench.harness import measure_format
+from repro.core.params import CSCVParams
+from repro.utils.tables import Table
+
+FORMATS = ("csr", "csc", "spc5", "cscv-z", "cscv-m")
+
+
+def test_ablation_backend(benchmark, quick_matrix):
+    coo, geom = quick_matrix
+    params = CSCVParams(16, 16, 2)
+    t = Table(headers=["format", "C GF", "NumPy GF", "C speedup"],
+              fmt=".2f", title="ablation: backend")
+    prev = config.runtime.backend
+    z = None
+    try:
+        for name in FORMATS:
+            fmt = build_format(name, coo, geom=geom, params=params)
+            if name == "cscv-z":
+                z = fmt
+            config.runtime.backend = "auto"
+            g_c = measure_format(fmt, iterations=10, max_seconds=1.0).gflops
+            config.runtime.backend = "numpy"
+            g_np = measure_format(fmt, iterations=5, max_seconds=1.0).gflops
+            t.add_row(name, g_c, g_np, g_c / g_np)
+    finally:
+        config.runtime.backend = prev
+    emit(t.render())
+
+    x = np.ones(coo.shape[1], dtype=np.float32)
+    y = np.zeros(coo.shape[0], dtype=np.float32)
+    benchmark(z.spmv_into, x, y)

@@ -1,0 +1,39 @@
+"""Ablation: IOBLR reference curves vs the view-major (BTB) layout.
+
+The end-to-end version of Fig 4: build CSCV with the paper's
+trajectory-following reference curves and with the constant-per-group
+reference of the BTB layout [14]; compare padding, traffic and measured
+SpMV speed.  IOBLR must win on all three.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.builder import build_cscv
+from repro.core.format_z import CSCVZMatrix
+from repro.core.params import CSCVParams
+from repro.bench.harness import measure_format
+from repro.utils.tables import Table
+
+
+def test_ablation_reference_mode(benchmark, quick_matrix):
+    coo, geom = quick_matrix
+    params = CSCVParams(8, 16, 2)
+    t = Table(
+        headers=["reference mode", "R_nnzE", "matrix MiB", "GFLOP/s"],
+        fmt=".3f", title="ablation: local reordering strategy",
+    )
+    fmts = {}
+    for mode in ("ioblr", "btb"):
+        data = build_cscv(coo.rows, coo.cols, coo.vals, geom, params,
+                          np.float32, reference_mode=mode)
+        z = CSCVZMatrix(data)
+        fmts[mode] = z
+        rec = measure_format(z, iterations=15, max_seconds=1.5)
+        t.add_row(mode, data.r_nnze, z.memory_bytes()["total"] / 2**20, rec.gflops)
+    emit(t.render())
+    assert fmts["btb"].r_nnze > fmts["ioblr"].r_nnze
+
+    x = np.ones(coo.shape[1], dtype=np.float32)
+    y = np.zeros(coo.shape[0], dtype=np.float32)
+    benchmark(fmts["ioblr"].spmv_into, x, y)

@@ -1,0 +1,41 @@
+"""Ablation: the VxG knob (S_VxG) — index compression vs padding.
+
+Sweeps S_VxG and reports the trade the paper describes in IV-D: larger
+groups shrink index data (toward the quoted 0.25x / 0.03x) and lengthen
+the inner loop, at the cost of extra window-padding zeros.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.harness import measure_format
+from repro.core.builder import build_cscv
+from repro.core.format_z import CSCVZMatrix
+from repro.core.params import CSCVParams
+from repro.core.vxg import index_data_ratio
+from repro.utils.tables import Table
+
+
+def test_ablation_vxg(benchmark, quick_matrix):
+    coo, geom = quick_matrix
+    t = Table(
+        headers=["S_VxG", "R_nnzE", "VxGs", "idx vs CSCVE", "idx vs CSC", "GFLOP/s"],
+        fmt=".3f", title="ablation: VxG size",
+    )
+    best = None
+    for s_vxg in (1, 2, 4, 8):
+        params = CSCVParams(8, 16, s_vxg)
+        data = build_cscv(coo.rows, coo.cols, coo.vals, geom, params, np.float32)
+        z = CSCVZMatrix(data)
+        ratios = index_data_ratio(data.num_vxg, data.num_cscve, data.nnz)
+        rec = measure_format(z, iterations=15, max_seconds=1.5)
+        t.add_row(s_vxg, data.r_nnze, data.num_vxg,
+                  ratios["vs_cscve"], ratios["vs_csc"], rec.gflops)
+        if best is None or rec.gflops > best[1]:
+            best = (s_vxg, rec.gflops, z)
+    emit(t.render())
+    emit(f"best S_VxG on this host: {best[0]} at {best[1]:.2f} GFLOP/s")
+
+    x = np.ones(coo.shape[1], dtype=np.float32)
+    y = np.zeros(coo.shape[0], dtype=np.float32)
+    benchmark(best[2].spmv_into, x, y)

@@ -1,0 +1,14 @@
+"""Fig 2: pixel trajectories in the projection domain."""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.experiments import fig2
+from repro.geometry.trajectory import pixel_trajectory
+
+
+def test_fig2_trajectories(benchmark):
+    geom = fig2.default_geometry()
+    views = np.arange(geom.num_views)
+    benchmark(pixel_trajectory, geom, 7, 7, views)
+    emit(fig2.run())

@@ -1,0 +1,14 @@
+"""Fig 3: CSCVE memory layout along the reference polyline."""
+
+from conftest import emit
+
+from repro.bench.experiments import fig3, table1
+from repro.core.cscve import column_cscves
+
+
+def test_fig3_cscve_layout(benchmark):
+    geom = table1.sample_geometry()
+    block = table1.sample_block()
+    s_vvec = table1.sample_params().s_vvec
+    benchmark(column_cscves, geom, block, (7, 7), block.reference_pixel, s_vvec)
+    emit(fig3.run())

@@ -1,0 +1,14 @@
+"""Fig 4: SIMD efficiency under bin-major / view-major / IOBLR layouts."""
+
+from conftest import emit
+
+from repro.bench.experiments import fig4, table1
+from repro.core.ioblr import layout_simd_efficiency
+
+
+def test_fig4_simd_efficiency(benchmark):
+    geom = table1.sample_geometry()
+    block = table1.sample_block()
+    s_vvec = table1.sample_params().s_vvec
+    benchmark(layout_simd_efficiency, geom, block, (7, 7), s_vvec, "ioblr")
+    emit(fig4.run())

@@ -1,0 +1,14 @@
+"""Fig 5: padding / CSCVE count / offset span by reference pixel."""
+
+from conftest import emit
+
+from repro.bench.experiments import fig5, table1
+from repro.core.cscve import pixel_stats
+
+
+def test_fig5_padding_distribution(benchmark):
+    geom = table1.sample_geometry()
+    block = table1.sample_block()
+    s_vvec = table1.sample_params().s_vvec
+    benchmark(pixel_stats, geom, block, (6, 6), block.reference_pixel, s_vvec)
+    emit(fig5.run())

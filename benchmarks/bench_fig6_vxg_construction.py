@@ -1,0 +1,12 @@
+"""Fig 6: constructing and ordering VxGs."""
+
+from conftest import emit
+
+from repro.bench.experiments import fig6
+from repro.core.vxg import construct_vxgs
+
+
+def test_fig6_vxg_construction(benchmark):
+    offsets = fig6._column_offsets()
+    benchmark(construct_vxgs, offsets, 2)
+    emit(fig6.run())

@@ -1,0 +1,18 @@
+"""Fig 7: the whole CSCV-based SpMV process (stage breakdown)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.experiments import fig7
+from repro.core.builder import build_cscv
+from repro.core.params import CSCVParams
+
+
+def test_fig7_pipeline(benchmark, quick_matrix):
+    coo, geom = quick_matrix
+    params = CSCVParams(16, 16, 2)
+    benchmark.pedantic(
+        build_cscv, args=(coo.rows, coo.cols, coo.vals, geom, params, np.float32),
+        rounds=3, iterations=1,
+    )
+    emit(fig7.run())

@@ -1,0 +1,19 @@
+"""Fig 8: R_nnzE and memory requirements over the parameter space."""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.experiments import fig8
+from repro.core.builder import build_cscv
+from repro.core.params import CSCVParams
+
+
+def test_fig8_parameter_memory(benchmark, quick_matrix):
+    coo, geom = quick_matrix
+    benchmark.pedantic(
+        build_cscv,
+        args=(coo.rows, coo.cols, coo.vals, geom, CSCVParams(8, 16, 2), np.float32),
+        rounds=3, iterations=1,
+    )
+    # sweep the quick dataset; pass dataset="mixed-large" for paper scale
+    emit(fig8.run(dataset="clinical-small"))

@@ -1,0 +1,17 @@
+"""Fig 9: best GFLOP/s and chosen S_VxG per (S_VVec, S_ImgB)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.experiments import fig9
+from repro.core.format_z import CSCVZMatrix
+from repro.core.params import CSCVParams
+
+
+def test_fig9_parameter_performance(benchmark, quick_matrix):
+    coo, geom = quick_matrix
+    z = CSCVZMatrix.from_ct(coo, geom, CSCVParams(16, 16, 2))
+    x = np.ones(coo.shape[1], dtype=np.float32)
+    y = np.zeros(coo.shape[0], dtype=np.float32)
+    benchmark(z.spmv_into, x, y)
+    emit(fig9.run(iterations=8))

@@ -1,0 +1,15 @@
+"""Table I: reconstruct the paper's sample matrix block."""
+
+from conftest import emit
+
+from repro.bench.experiments import table1
+from repro.core.builder import build_cscv
+from repro.geometry.projector_strip import strip_area_matrix
+
+
+def test_table1_sample_block(benchmark):
+    geom = table1.sample_geometry()
+    rows, cols, vals = strip_area_matrix(geom)
+    params = table1.sample_params()
+    benchmark(build_cscv, rows, cols, vals, geom, params)
+    emit(table1.run())

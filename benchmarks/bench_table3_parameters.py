@@ -1,0 +1,19 @@
+"""Table III: CSCV parameter selection (section V-D autotune)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.experiments import table3
+from repro.core.format_z import CSCVZMatrix
+from repro.core.params import CSCVParams
+
+
+def test_table3_parameter_selection(benchmark, quick_matrix):
+    coo, geom = quick_matrix
+    z = CSCVZMatrix.from_ct(coo, geom, CSCVParams(16, 16, 2))
+    x = np.ones(coo.shape[1], dtype=np.float32)
+    y = np.zeros(coo.shape[0], dtype=np.float32)
+    benchmark(z.spmv_into, x, y)
+    # autotune on the quick dataset keeps bench wall-clock bounded; pass
+    # dataset="mixed-large" to match the paper's selection matrix exactly.
+    emit(table3.run(dataset="clinical-small", scorer="measure"))

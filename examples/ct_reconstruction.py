@@ -1,0 +1,81 @@
+"""Iterative CT reconstruction of the Shepp-Logan phantom through CSCV.
+
+Run:  python examples/ct_reconstruction.py [image_size]
+
+The paper's motivating application: reconstruct an image from its
+sinogram with SpMV-heavy iterative solvers (SIRT, CGLS, blocked ART) plus
+the FBP analytic reference, all driven through the CSCV-Z operator, and
+report image quality + where the time goes.  An ASCII rendering of the
+phantom and the SIRT reconstruction is printed at the end.
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import CSCVParams, CSCVZMatrix, build_ct_matrix
+from repro.geometry.phantom import shepp_logan
+from repro.recon import (
+    ProjectionOperator,
+    art_reconstruct,
+    cgls_reconstruct,
+    fbp_reconstruct,
+    psnr,
+    relative_error,
+    sirt_reconstruct,
+)
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_image(img: np.ndarray, width: int = 48) -> str:
+    """Downsample + render an image with a 10-glyph density ramp."""
+    n = img.shape[0]
+    step = max(1, n // width)
+    small = img[::step, ::step]
+    lo, hi = small.min(), small.max()
+    span = (hi - lo) or 1.0
+    rows = []
+    for r in small:
+        rows.append("".join(_RAMP[int((v - lo) / span * 9)] for v in r))
+    return "\n".join(rows)
+
+
+def main(image_size: int = 64) -> None:
+    coo, geom = build_ct_matrix(image_size, num_views=2 * image_size)
+    truth = shepp_logan(image_size).ravel()
+
+    op = ProjectionOperator(CSCVZMatrix.from_ct(coo, geom, CSCVParams(8, 16, 2)))
+    print(f"matrix {coo.shape[0]}x{coo.shape[1]}, nnz {coo.nnz:,}")
+
+    sinogram = op.forward(truth)
+    # mild Poisson-style measurement noise
+    rng = np.random.default_rng(0)
+    noisy = sinogram + rng.normal(0.0, 0.01 * sinogram.max(), sinogram.shape)
+
+    solvers = {
+        "FBP (analytic)": lambda: fbp_reconstruct(op, noisy, geom),
+        "SIRT x60": lambda: sirt_reconstruct(op, noisy, iterations=60),
+        "CGLS x25": lambda: cgls_reconstruct(op, noisy, iterations=25),
+        "ART  x30": lambda: art_reconstruct(op, noisy, iterations=30, relax=0.8),
+    }
+    best = None
+    for name, solve in solvers.items():
+        t0 = time.perf_counter()
+        x = solve()
+        dt = time.perf_counter() - t0
+        err = relative_error(x, truth)
+        print(f"  {name:15s} rel.err {err:.4f}  psnr {psnr(x, truth):6.2f} dB  ({dt:5.2f}s)")
+        if best is None or err < best[1]:
+            best = (name, err, x)
+
+    name, err, x = best
+    print(f"\nground truth {image_size}x{image_size}:")
+    print(ascii_image(truth.reshape(image_size, image_size)))
+    print(f"\nbest reconstruction ({name}, rel.err {err:.4f}):")
+    print(ascii_image(np.asarray(x).reshape(image_size, image_size)))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 64)

@@ -1,0 +1,64 @@
+"""repro — reproduction of the CSCV vectorized SpMV system (IPDPS 2022).
+
+Public API highlights
+---------------------
+- :class:`repro.geometry.ParallelBeamGeometry` and the projectors build CT
+  system matrices from integral operators.
+- :mod:`repro.sparse` provides CSR/CSC/ELL/CSR5/SPC5/ESB/CVR/VHCC/Merge
+  and scipy-backed vendor baselines, all behind one
+  :class:`~repro.sparse.SpMVFormat` interface.
+- :mod:`repro.core` implements the paper's contribution: the CSCV format
+  (CSCV-Z / CSCV-M), IOBLR local reordering, VxG packing, the
+  multi-threaded SpMV driver and the parameter autotuner.
+- :mod:`repro.recon` applies it all to iterative CT reconstruction
+  (ART, SIRT, CGLS, ICD) with FBP and image metrics.
+- :mod:`repro.perfmodel` models GFLOP/s on the paper's SKL/Zen2 machines.
+- :mod:`repro.bench` regenerates every table and figure of the paper.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import build_ct_matrix, CSCVZMatrix
+>>> coo, geom = build_ct_matrix(64)             # 64x64 parallel-beam CT
+>>> a = CSCVZMatrix.from_ct(coo, geom)          # convert to CSCV
+>>> y = a @ np.ones(coo.shape[1])               # vectorized SpMV
+"""
+
+from repro._version import __version__
+from repro.api import build_ct_matrix, build_format, spmv_all_formats
+from repro.core import (
+    CSCVMMatrix,
+    CSCVParams,
+    CSCVZMatrix,
+    autotune_parameters,
+)
+from repro.geometry import ParallelBeamGeometry, shepp_logan
+from repro.geometry.fan_beam import FanBeamGeometry
+from repro.sparse import (
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    SpMVFormat,
+    available_formats,
+    get_format,
+)
+
+__all__ = [
+    "__version__",
+    "build_ct_matrix",
+    "build_format",
+    "spmv_all_formats",
+    "CSCVParams",
+    "CSCVZMatrix",
+    "CSCVMMatrix",
+    "autotune_parameters",
+    "ParallelBeamGeometry",
+    "FanBeamGeometry",
+    "shepp_logan",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "SpMVFormat",
+    "available_formats",
+    "get_format",
+]

@@ -1,0 +1,101 @@
+"""Convenience top-level API.
+
+Small helpers wiring geometry -> matrix -> formats, so a downstream user
+(or an example script) gets from "image size" to "benchmark every format"
+in three calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.format_m import CSCVMMatrix
+from repro.core.format_z import CSCVZMatrix
+from repro.core.params import CSCVParams
+from repro.errors import ValidationError
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+from repro.geometry.projector_pixel import pixel_driven_matrix
+from repro.geometry.projector_siddon import siddon_matrix
+from repro.geometry.projector_strip import strip_area_matrix
+from repro.sparse.coo import COOMatrix
+from repro.sparse.matrix_base import SpMVFormat, available_formats, get_format
+
+_PROJECTORS = {
+    "strip": strip_area_matrix,
+    "pixel": pixel_driven_matrix,
+    "siddon": siddon_matrix,
+}
+
+
+def build_ct_matrix(
+    image_size: int,
+    *,
+    num_views: int | None = None,
+    projector: str = "strip",
+    dtype=np.float64,
+    geom: ParallelBeamGeometry | None = None,
+) -> tuple[COOMatrix, ParallelBeamGeometry]:
+    """Build a parallel-beam CT system matrix.
+
+    Returns the canonical :class:`COOMatrix` plus the geometry (needed by
+    the CSCV formats).  ``projector`` is ``"strip"`` (default, the paper's
+    nnz density), ``"pixel"`` (2 bins/view) or ``"siddon"`` (exact rays).
+    """
+    if projector not in _PROJECTORS:
+        raise ValidationError(
+            f"unknown projector {projector!r}; options: {sorted(_PROJECTORS)}"
+        )
+    if geom is None:
+        geom = ParallelBeamGeometry.for_image(image_size, num_views)
+    rows, cols, vals = _PROJECTORS[projector](geom, dtype=dtype)
+    coo = COOMatrix.from_coo(geom.shape, rows, cols, vals, dtype=dtype)
+    return coo, geom
+
+
+def build_format(
+    name: str,
+    coo: COOMatrix,
+    *,
+    geom: ParallelBeamGeometry | None = None,
+    params: CSCVParams | None = None,
+    dtype=None,
+    **format_kwargs,
+) -> SpMVFormat:
+    """Instantiate any registered format from a COO matrix.
+
+    CSCV formats additionally need ``geom`` (and optionally ``params``).
+    """
+    cls = get_format(name)
+    if issubclass(cls, (CSCVZMatrix, CSCVMMatrix)):
+        if geom is None:
+            raise ValidationError(f"format {name!r} requires geom=")
+        return cls.from_ct(coo, geom, params, dtype=dtype, **format_kwargs)
+    kwargs = dict(format_kwargs)
+    if dtype is not None:
+        kwargs["dtype"] = dtype
+    return cls.from_coo(coo.shape, coo.rows, coo.cols, coo.vals, **kwargs)
+
+
+def spmv_all_formats(
+    coo: COOMatrix,
+    x: np.ndarray,
+    *,
+    geom: ParallelBeamGeometry | None = None,
+    formats: list[str] | None = None,
+    params: CSCVParams | None = None,
+) -> dict[str, np.ndarray]:
+    """Run ``y = A x`` through every requested format; returns name -> y.
+
+    Useful for cross-validation: every result should agree to rounding.
+    Formats needing a geometry are skipped when ``geom`` is None.
+    """
+    names = formats if formats is not None else available_formats()
+    out: dict[str, np.ndarray] = {}
+    for name in names:
+        cls = get_format(name)
+        needs_geom = issubclass(cls, (CSCVZMatrix, CSCVMMatrix))
+        if needs_geom and geom is None:
+            continue
+        fmt = build_format(name, coo, geom=geom if needs_geom else None, params=params)
+        out[name] = fmt.spmv(np.asarray(x, dtype=fmt.dtype))
+    return out

@@ -1,0 +1,26 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Layout
+------
+``datasets``     scaled CT matrices mirroring Table II (disk-cached)
+``harness``      timing + GFLOP/s + bandwidth measurement helpers
+``report``       rendering of paper-style tables with reference columns
+``experiments``  one module per table/figure (table1 ... fig11)
+
+The runnable entry points live in the repository's ``benchmarks/``
+directory (pytest-benchmark files), each of which calls into
+``repro.bench.experiments`` and prints the regenerated table next to the
+paper's reported values.
+"""
+
+from repro.bench.datasets import DATASETS, Dataset, get_dataset
+from repro.bench.harness import PerfRecord, measure_format, run_suite
+
+__all__ = [
+    "Dataset",
+    "DATASETS",
+    "get_dataset",
+    "PerfRecord",
+    "measure_format",
+    "run_suite",
+]

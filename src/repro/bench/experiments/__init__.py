@@ -1,0 +1,6 @@
+"""Per-experiment modules: each regenerates one table or figure.
+
+Every module exposes ``run(...) -> str`` returning the rendered report
+(paper values alongside measured/modelled ones).  The pytest-benchmark
+entry points in ``benchmarks/`` call these and time their core kernels.
+"""

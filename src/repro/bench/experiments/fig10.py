@@ -1,0 +1,72 @@
+"""Fig 10 — scalability of SpMV implementations in GFLOP/s.
+
+The thread-sweep figure.  This container has one core, so the curves come
+from the performance model on the paper's SKL and Zen2 machines, anchored
+by the measured single-thread host numbers (printed in the last column
+for reality-checking the latency-bound end).
+
+Shape targets asserted by the tests: near-linear scaling at low thread
+counts; CSCV-Z leads at 1 thread; CSCV-M overtakes CSCV-Z as threads grow
+(paper: >=16T on SKL, 64T on Zen2); CSCV-M nearly linear to 64T on Zen2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import build_format
+from repro.bench.datasets import QUICK_DATASET, get_dataset
+from repro.bench.harness import measure_format
+from repro.core.params import CSCVParams, PAPER_TABLE3
+from repro.perfmodel import SKL, ZEN2, scalability_curve
+from repro.perfmodel.platform import Machine
+from repro.utils.tables import Table
+
+THREADS = (1, 2, 4, 8, 16, 32, 64)
+
+FORMATS = ["cscv-z", "cscv-m", "mkl-csr", "mkl-csc", "merge", "spc5", "csr5", "esb"]
+
+
+def _params_for(machine: Machine, precision: str) -> dict[str, CSCVParams]:
+    return {
+        "cscv-z": PAPER_TABLE3[(machine.name, "cscv-z", precision)],
+        "cscv-m": PAPER_TABLE3[(machine.name, "cscv-m", precision)],
+    }
+
+
+def run(dataset: str = QUICK_DATASET, dtype=np.float32, measure_host: bool = True) -> str:
+    """Render the model scalability tables for SKL and Zen2."""
+    dt = np.dtype(dtype)
+    precision = "single" if dt == np.float32 else "double"
+    coo, geom = get_dataset(dataset).load(dtype=dt)
+    sections = []
+    for machine in (SKL, ZEN2):
+        params = _params_for(machine, precision)
+        t = Table(
+            headers=["impl", *[f"t={x}" for x in THREADS], "host 1T meas."],
+            title=f"Fig 10 model: {machine.name} {precision} GFLOP/s vs threads",
+            fmt=".1f",
+        )
+        for name in FORMATS:
+            fmt = build_format(name, coo, geom=geom, params=params.get(name))
+            curve = scalability_curve(fmt, machine, THREADS)
+            host = ""
+            if measure_host and machine is SKL:
+                host = f"{measure_format(fmt, iterations=10, max_seconds=1).gflops:.2f}"
+            t.add_row(name, *[curve[x] for x in THREADS], host)
+        sections.append(t.render())
+    return "\n\n".join(sections)
+
+
+def model_curves(dataset: str = QUICK_DATASET, dtype=np.float32):
+    """Machine-readable curves keyed (machine, format) (used by tests)."""
+    dt = np.dtype(dtype)
+    precision = "single" if dt == np.float32 else "double"
+    coo, geom = get_dataset(dataset).load(dtype=dt)
+    out = {}
+    for machine in (SKL, ZEN2):
+        params = _params_for(machine, precision)
+        for name in ("cscv-z", "cscv-m", "mkl-csr"):
+            fmt = build_format(name, coo, geom=geom, params=params.get(name))
+            out[(machine.name, name)] = scalability_curve(fmt, machine, THREADS)
+    return out

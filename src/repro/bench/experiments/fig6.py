@@ -1,0 +1,56 @@
+"""Fig 6 — constructing and ordering VxGs.
+
+Reruns the two-pass VxG construction on the sample block's pixel columns
+and renders the ``(offset, count)`` boxes of the figure, marking the
+VxGs that acquired whole padding CSCVEs (the figure's red boxes), then
+shows the second pass's count ordering.  Also reports the index-volume
+ratios the paper quotes (~0.25x vs per-CSCVE, ~0.03x vs CSC).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.table1 import sample_block, sample_geometry, sample_params
+from repro.core.cscve import column_cscves
+from repro.core.vxg import construct_vxgs, index_data_ratio, order_by_count, render_trace
+
+
+def _column_offsets():
+    geom = sample_geometry()
+    block = sample_block()
+    s_vvec = sample_params().s_vvec
+    out = {}
+    col = 0
+    for i in range(block.i0, block.i1):
+        for j in range(block.j0, block.j1):
+            cscves = column_cscves(geom, block, (i, j), block.reference_pixel, s_vvec)
+            out[col] = [(d, int(v.sum())) for d, v in cscves.items()]
+            col += 1
+    return out
+
+
+def run(max_cols: int = 6) -> str:
+    """Render the construction trace and the ordered result."""
+    offsets = _column_offsets()
+    s_vxg = sample_params().s_vxg
+    shown = {c: offsets[c] for c in list(offsets)[:max_cols]}
+    vxgs = construct_vxgs(shown, s_vxg)
+    ordered = order_by_count(vxgs)
+
+    all_vxgs = construct_vxgs(offsets, s_vxg)
+    num_cscve = sum(len(v) for v in offsets.values())
+    nnz = sum(c for v in offsets.values() for _, c in v)
+    ratios = index_data_ratio(len(all_vxgs), num_cscve, nnz)
+
+    return "\n".join(
+        [
+            "Fig 6a: VxGs after pass one (sorted by bin offset; *extra-padding* = red):",
+            render_trace(vxgs),
+            "",
+            "Fig 6b: VxGs after pass two (ordered by count):",
+            render_trace(ordered),
+            "",
+            f"index volume: {ratios['vs_cscve']:.2f}x of per-CSCVE indexing "
+            f"(paper ~0.25x at S_VxG=4), {ratios['vs_csc']:.3f}x of CSC row "
+            f"indices (paper ~0.03x)",
+        ]
+    )

@@ -1,0 +1,78 @@
+"""Fig 9 — best GFLOP/s and chosen S_VxG per (S_VVec, S_ImgB).
+
+For every ``(S_VVec, S_ImgB)`` cell, measure CSCV-Z and CSCV-M SpMV over
+the ``S_VxG`` grid, keep the best, and print ``GFLOP/s (S_VxG)`` — the
+paper's annotated heatmaps.  Host measurements play the single-thread
+panel; the SKL/Zen2 64-thread panels come from the performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.datasets import QUICK_DATASET, get_dataset
+from repro.core.autotune import parameter_sweep
+from repro.core.builder import build_cscv
+from repro.core.format_m import CSCVMMatrix
+from repro.core.format_z import CSCVZMatrix
+from repro.core.params import CSCVParams
+from repro.perfmodel import SKL, predict_gflops
+from repro.utils.tables import Table
+
+
+def run(
+    dataset: str = QUICK_DATASET,
+    *,
+    dtype=np.float32,
+    s_vvec_grid=(4, 8, 16),
+    s_imgb_grid=(8, 16, 32),
+    s_vxg_grid=(1, 2, 4),
+    iterations: int = 10,
+) -> str:
+    """Measure the grid and render the two annotated tables."""
+    coo, geom = get_dataset(dataset).load(dtype=dtype)
+    points = parameter_sweep(
+        coo, geom, dtype=dtype, measure=True, iterations=iterations,
+        s_vvec_grid=s_vvec_grid, s_imgb_grid=s_imgb_grid, s_vxg_grid=s_vxg_grid,
+    )
+
+    sections = []
+    for which in ("z", "m"):
+        t = Table(
+            headers=["", *[f"ImgB={b}" for b in s_imgb_grid]],
+            title=f"Fig 9 CSCV-{which.upper()} host 1T: best GFLOP/s (chosen S_VxG)",
+        )
+        for s_vvec in s_vvec_grid:
+            cells = []
+            for s_imgb in s_imgb_grid:
+                cand = [
+                    p for p in points
+                    if p.params.s_vvec == s_vvec and p.params.s_imgb == s_imgb
+                ]
+                best = max(
+                    cand, key=lambda p: p.gflops_z if which == "z" else p.gflops_m
+                )
+                val = best.gflops_z if which == "z" else best.gflops_m
+                cells.append(f"{val:.2f} ({best.params.s_vxg})")
+            t.add_row(f"VVec={s_vvec}", *cells)
+        sections.append(t.render())
+
+    # model panel: SKL 64T, CSCV-M (the paper's multi-threaded winner)
+    t = Table(
+        headers=["", *[f"ImgB={b}" for b in s_imgb_grid]],
+        title="Fig 9 model: CSCV-M SKL 64T GFLOP/s (chosen S_VxG)",
+    )
+    for s_vvec in s_vvec_grid:
+        cells = []
+        for s_imgb in s_imgb_grid:
+            best_val, best_vxg = -1.0, None
+            for s_vxg in s_vxg_grid:
+                params = CSCVParams(s_vvec, s_imgb, s_vxg)
+                data = build_cscv(coo.rows, coo.cols, coo.vals, geom, params, dtype)
+                g = predict_gflops(CSCVMMatrix(data), SKL, 64)
+                if g > best_val:
+                    best_val, best_vxg = g, s_vxg
+            cells.append(f"{best_val:.1f} ({best_vxg})")
+        t.add_row(f"VVec={s_vvec}", *cells)
+    sections.append(t.render())
+    return "\n\n".join(sections)

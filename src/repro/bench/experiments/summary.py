@@ -1,0 +1,60 @@
+"""Run-everything report: all tables and figures in one pass.
+
+``python -m repro experiment summary`` regenerates every experiment at
+reduced scale and concatenates the reports — the one-command reproduction
+of the paper's evaluation section.  Heavier experiments run on the quick
+dataset; pass ``full=True`` (or edit the call sites) for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+
+def run(full: bool = False) -> str:
+    """Regenerate every table/figure; returns the concatenated report."""
+    from repro.bench.experiments import (
+        fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11,
+        table1, table2, table3, table4,
+    )
+
+    quick = "clinical-small"
+    param_ds = "mixed-large" if full else quick
+    heavy_sets = None if full else ["clinical-small"]
+
+    jobs = [
+        ("Table I", lambda: table1.run()),
+        ("Table II", lambda: table2.run()),
+        ("Table III", lambda: table3.run(dataset=param_ds)),
+        ("Table IV (single)", lambda: table4.run(dataset_names=heavy_sets, dtype=np.float32)),
+        ("Table IV (double)", lambda: table4.run(dataset_names=heavy_sets, dtype=np.float64)),
+        ("Fig 1", lambda: fig1.run()),
+        ("Fig 2", lambda: fig2.run()),
+        ("Fig 3", lambda: fig3.run()),
+        ("Fig 4", lambda: fig4.run()),
+        ("Fig 5", lambda: fig5.run()),
+        ("Fig 6", lambda: fig6.run()),
+        ("Fig 7", lambda: fig7.run(dataset=quick)),
+        ("Fig 8", lambda: fig8.run(dataset=param_ds)),
+        ("Fig 9", lambda: fig9.run(dataset=quick, iterations=5)),
+        ("Fig 10", lambda: fig10.run(dataset=quick)),
+        ("Fig 11", lambda: fig11.run(dataset="clinical-mid" if full else quick)),
+    ]
+    sections = []
+    total_start = time.perf_counter()
+    for name, job in jobs:
+        start = time.perf_counter()
+        try:
+            body = job()
+        except Exception as exc:  # keep going; report the failure
+            body = f"FAILED: {type(exc).__name__}: {exc}"
+        elapsed = time.perf_counter() - start
+        rule = "=" * 72
+        sections.append(f"{rule}\n{name}  ({elapsed:.1f}s)\n{rule}\n{body}")
+    sections.append(
+        f"total: {time.perf_counter() - total_start:.1f}s for "
+        f"{len(jobs)} experiments"
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,70 @@
+"""Table II — the matrix datasets.
+
+Regenerates the dataset-information table: for every scaled matrix we
+build, print its geometry and measured nnz next to the paper's original
+row, plus the scale-invariant density ``nnz / (pixels * views)`` whose
+agreement justifies the scaling (DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.datasets import DATASETS
+from repro.utils.tables import Table
+
+
+def run(names: list[str] | None = None, dtype=np.float32) -> str:
+    """Build every dataset and render the side-by-side Table II."""
+    t = Table(
+        headers=[
+            "dataset",
+            "img size",
+            "bins",
+            "views",
+            "dAngle",
+            "nnz",
+            "x size",
+            "y size",
+            "nnz/(px*view)",
+        ],
+        title="Table II: matrix datasets (paper row, then ours)",
+    )
+    for name, ds in DATASETS.items():
+        if names is not None and name not in names:
+            continue
+        p = ds.paper
+        paper_px = p.x_size
+        t.add_row(
+            f"paper:{p.img}",
+            p.img,
+            p.num_bin,
+            p.num_view,
+            p.delta_angle,
+            p.nnz,
+            p.x_size,
+            p.y_size,
+            f"{p.nnz / (paper_px * p.num_view):.2f}",
+        )
+        coo, geom = ds.load(dtype=dtype)
+        t.add_row(
+            f"ours:{name}",
+            f"{geom.image_size} x {geom.image_size}",
+            geom.num_bins,
+            geom.num_views,
+            f"{geom.delta_angle_deg:.4g}",
+            coo.nnz,
+            geom.num_pixels,
+            geom.num_rays,
+            f"{coo.nnz / (geom.num_pixels * geom.num_views):.2f}",
+        )
+    return t.render()
+
+
+def density_match(name: str, dtype=np.float32) -> tuple[float, float]:
+    """(paper density, our density) for one dataset — the scaling check."""
+    ds = DATASETS[name]
+    coo, geom = ds.load(dtype=dtype)
+    paper = ds.paper.nnz / (ds.paper.x_size * ds.paper.num_view)
+    ours = coo.nnz / (geom.num_pixels * geom.num_views)
+    return paper, ours

@@ -1,0 +1,53 @@
+"""Table III — selected CSCV parameter combinations and their R_nnzE.
+
+Runs the Section V-D autotuning procedure on the parameter-selection
+matrix (the scaled 1024x1024 stand-in) and prints the chosen triples with
+their measured zero-padding rates, next to the paper's Table III rows for
+both platforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.datasets import PARAMETER_DATASET, get_dataset
+from repro.core.autotune import autotune_parameters
+from repro.core.params import PAPER_TABLE3, PAPER_TABLE3_RNNZE
+from repro.utils.tables import Table
+
+
+def run(
+    dataset: str = PARAMETER_DATASET,
+    *,
+    scorer: str = "measure",
+    dtype=np.float32,
+    s_vvec_grid=(4, 8, 16),
+    s_imgb_grid=(8, 16, 32),
+    s_vxg_grid=(1, 2, 4),
+) -> str:
+    """Autotune on *dataset* and render the Table III comparison."""
+    coo, geom = get_dataset(dataset).load(dtype=dtype)
+    result = autotune_parameters(
+        coo,
+        geom,
+        dtype=dtype,
+        scorer=scorer,
+        s_vvec_grid=s_vvec_grid,
+        s_imgb_grid=s_imgb_grid,
+        s_vxg_grid=s_vxg_grid,
+    )
+    t = Table(
+        headers=["platform", "impl", "precision", "S_ImgB", "S_VVec", "S_VxG", "R_nnzE"],
+        title="Table III: selected parameter combinations",
+        fmt=".3f",
+    )
+    for (plat, impl, prec), p in PAPER_TABLE3.items():
+        t.add_row(
+            f"paper:{plat}", impl, prec, p.s_imgb, p.s_vvec, p.s_vxg,
+            PAPER_TABLE3_RNNZE[(plat, impl, prec)],
+        )
+    prec = "single" if np.dtype(dtype) == np.float32 else "double"
+    for impl, p in (("cscv-z", result.best_z), ("cscv-m", result.best_m)):
+        point = next(pt for pt in result.points if pt.params == p)
+        t.add_row("ours:host", impl, prec, p.s_imgb, p.s_vvec, p.s_vxg, point.r_nnze)
+    return t.render()

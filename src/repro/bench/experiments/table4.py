@@ -1,0 +1,145 @@
+"""Table IV — best performance of each implementation.
+
+For every implementation the paper lists the average and maximum GFLOP/s
+over the four matrices, per platform and precision.  Here each format is
+
+* **measured** on this host (single core, min-of-N wall clock), and
+* **modelled** at 64 threads on the paper's SKL and Zen2 machines
+  (:mod:`repro.perfmodel`),
+
+with the paper's Table IV numbers printed alongside.  The reproduction
+claim is about *ordering and ratios* (who wins, by roughly how much), not
+absolute GFLOP/s — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.datasets import DATASETS
+from repro.bench.harness import run_suite
+from repro.core.params import CSCVParams, PAPER_TABLE3
+from repro.perfmodel import SKL, ZEN2, predict_gflops
+from repro.api import build_format
+from repro.utils.tables import Table
+
+#: paper Table IV (avg, max) per (platform, precision, impl)
+PAPER_TABLE4 = {
+    ("skl", "single"): {
+        "cscv-z": (68.74, 72.1), "cscv-m": (85.48, 87.98),
+        "mkl-csr": (31.16, 40.99), "mkl-csc": (27.55, 32.75),
+        "merge": (24.81, 30.93), "spc5": (61.46, 70.71),
+    },
+    ("skl", "double"): {
+        "cscv-z": (35.05, 37.57), "cscv-m": (45.19, 47.47),
+        "mkl-csr": (20.59, 25.72), "mkl-csc": (16.48, 18.15),
+        "merge": (12.82, 14.89), "spc5": (34.52, 40.54),
+        "vhcc": (26.13, 26.88), "esb": (12.68, 13.56),
+        "csr5": (21.39, 26.72), "cvr": (17.62, 20.66),
+    },
+    ("zen2", "single"): {
+        "cscv-z": (73.36, 79.47), "cscv-m": (92.44, 96.93),
+        "mkl-csr": (43.75, 54.57), "mkl-csc": (41.56, 44.63),
+        "merge": (30.84, 39.49),
+    },
+    ("zen2", "double"): {
+        "cscv-z": (41.25, 44.68), "cscv-m": (51.24, 54.09),
+        "mkl-csr": (27.62, 33.79), "mkl-csc": (28.66, 33.45),
+        "merge": (17.23, 22.49), "esb": (17.7, 20.27),
+        "csr5": (25.69, 34.63),
+    },
+}
+
+#: formats measured per precision (mirrors the paper's support matrix:
+#: several baselines only ship double-precision kernels)
+SINGLE_FORMATS = ["cscv-z", "cscv-m", "mkl-csr", "mkl-csc", "merge", "spc5", "csr", "csc"]
+DOUBLE_FORMATS = SINGLE_FORMATS + ["vhcc", "esb", "csr5", "cvr"]
+
+
+def _cscv_params(precision: str) -> dict[str, CSCVParams]:
+    """Table III triples (SKL column) used for the CSCV formats."""
+    return {
+        "cscv-z": PAPER_TABLE3[("skl", "cscv-z", precision)],
+        "cscv-m": PAPER_TABLE3[("skl", "cscv-m", precision)],
+    }
+
+
+def run(
+    dataset_names: list[str] | None = None,
+    *,
+    dtype=np.float32,
+    iterations: int = 30,
+) -> str:
+    """Measure + model every implementation; render the comparison."""
+    if dataset_names is None:
+        dataset_names = ["clinical-small", "clinical-mid"]
+    dt = np.dtype(dtype)
+    precision = "single" if dt == np.float32 else "double"
+    format_names = SINGLE_FORMATS if precision == "single" else DOUBLE_FORMATS
+    params_by_format = _cscv_params(precision)
+
+    measured: dict[str, list[float]] = {f: [] for f in format_names}
+    model_skl: dict[str, list[float]] = {f: [] for f in format_names}
+    model_zen2: dict[str, list[float]] = {f: [] for f in format_names}
+    for name in dataset_names:
+        coo, geom = DATASETS[name].load(dtype=dt)
+        records = run_suite(
+            coo, geom, format_names,
+            dtype=dt, params_by_format=params_by_format, iterations=iterations,
+        )
+        for rec in records:
+            measured[rec.format_name].append(rec.gflops)
+        for fname in format_names:
+            fmt = build_format(
+                fname, coo, geom=geom, params=params_by_format.get(fname)
+            )
+            model_skl[fname].append(predict_gflops(fmt, SKL, 64))
+            model_zen2[fname].append(predict_gflops(fmt, ZEN2, 64))
+
+    t = Table(
+        headers=[
+            "impl", "host avg", "host max",
+            "SKL64 model avg", "SKL64 paper avg",
+            "Zen2-64 model avg", "Zen2-64 paper avg",
+        ],
+        title=f"Table IV ({precision}): best GFLOP/s per implementation",
+        fmt=".2f",
+    )
+    p_skl = PAPER_TABLE4[("skl", precision)]
+    p_zen2 = PAPER_TABLE4[("zen2", precision)]
+    for fname in format_names:
+        ms = measured[fname]
+        t.add_row(
+            fname,
+            float(np.mean(ms)),
+            float(np.max(ms)),
+            float(np.mean(model_skl[fname])),
+            p_skl.get(fname, (None,))[0],
+            float(np.mean(model_zen2[fname])),
+            p_zen2.get(fname, (None,))[0],
+        )
+    for col in (1, 3, 5):
+        t.mark_extremes(col)
+    return t.render()
+
+
+def speedup_summary(dataset_name: str = "clinical-mid", dtype=np.float32) -> dict:
+    """Headline ratios: CSCV best vs vendor CSR and vs best non-CSCV."""
+    dt = np.dtype(dtype)
+    precision = "single" if dt == np.float32 else "double"
+    coo, geom = DATASETS[dataset_name].load(dtype=dt)
+    names = SINGLE_FORMATS if precision == "single" else DOUBLE_FORMATS
+    records = run_suite(
+        coo, geom, names, dtype=dt, params_by_format=_cscv_params(precision),
+        iterations=30,
+    )
+    by_name = {r.format_name: r.gflops for r in records}
+    cscv_best = max(by_name["cscv-z"], by_name["cscv-m"])
+    non_cscv = {k: v for k, v in by_name.items() if not k.startswith("cscv")}
+    second = max(non_cscv.values())
+    return {
+        "cscv_best": cscv_best,
+        "vs_mkl_csr": cscv_best / by_name["mkl-csr"],
+        "vs_second": cscv_best / second,
+        "second_name": max(non_cscv, key=non_cscv.get),
+    }

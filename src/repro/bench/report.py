@@ -1,0 +1,97 @@
+"""Report assembly: paper-vs-ours comparison rendering.
+
+Thin layer over :mod:`repro.utils.tables` that the experiment modules use
+for the recurring "paper value next to measured/modelled value" pattern,
+plus speedup summaries in the style of the paper's abstract claims.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.bench.harness import PerfRecord
+from repro.utils.tables import Table
+
+
+def comparison_table(
+    title: str,
+    rows: Sequence[tuple],
+    *,
+    headers: Sequence[str],
+    mark_columns: Sequence[int] = (),
+    fmt: str = ".2f",
+) -> str:
+    """Render rows with best/second-best marks on the given columns."""
+    t = Table(headers=headers, title=title, fmt=fmt)
+    for row in rows:
+        t.add_row(*row)
+    for col in mark_columns:
+        t.mark_extremes(col)
+    return t.render()
+
+
+def records_vs_paper(
+    records: Sequence[PerfRecord],
+    paper: Mapping[str, float],
+    *,
+    title: str = "measured vs paper",
+) -> str:
+    """One row per record: measured GFLOP/s next to the paper's number."""
+    t = Table(
+        headers=["format", "measured GF", "paper GF", "measured/paper"],
+        title=title,
+        fmt=".2f",
+    )
+    for rec in records:
+        ref = paper.get(rec.format_name)
+        ratio = rec.gflops / ref if ref else None
+        t.add_row(rec.format_name, rec.gflops, ref, ratio)
+    t.mark_extremes(1)
+    return t.render()
+
+
+def speedup_lines(records: Sequence[PerfRecord]) -> str:
+    """The abstract-style summary: CSCV best vs vendor and vs second place."""
+    by_name = {r.format_name: r.gflops for r in records}
+    cscv = [v for k, v in by_name.items() if k.startswith("cscv")]
+    if not cscv:
+        return "no CSCV records"
+    best = max(cscv)
+    others = {k: v for k, v in by_name.items() if not k.startswith("cscv")}
+    lines = [f"CSCV best: {best:.2f} GFLOP/s"]
+    if "mkl-csr" in others:
+        lines.append(f"  vs MKL-CSR: {best / others['mkl-csr']:.2f}x "
+                     "(paper: 1.89-3.70x single precision)")
+    if others:
+        second_name = max(others, key=others.get)
+        lines.append(
+            f"  vs second place ({second_name}): "
+            f"{best / others[second_name]:.2f}x (paper: 1.05-3.48x)"
+        )
+    return "\n".join(lines)
+
+
+def ordering_agreement(
+    ours: Mapping[str, float], paper: Mapping[str, float]
+) -> float:
+    """Kendall-style pairwise ordering agreement on the shared formats.
+
+    Returns the fraction of format pairs ranked the same way by both
+    columns — the quantitative "shape reproduced" metric used by tests
+    (1.0 = identical ordering).
+    """
+    common = sorted(set(ours) & set(paper))
+    if len(common) < 2:
+        return 1.0
+    agree = total = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            a, b = common[i], common[j]
+            s_ours = np.sign(ours[a] - ours[b])
+            s_paper = np.sign(paper[a] - paper[b])
+            total += 1
+            if s_ours == s_paper:
+                agree += 1
+    return agree / total if total else 1.0

@@ -1,0 +1,98 @@
+"""Non-CT workload generators — where CSCV's scope ends.
+
+CSCV is *integral-equation-oriented*: its conversion needs the imaging
+geometry's reference trajectories, so matrices without that structure
+(PDE stencils, graphs) cannot use it — by design, not by accident.  These
+generators produce the classic alternative workloads so the general
+formats can be compared on them and the scope boundary is demonstrated
+rather than asserted:
+
+* 5-point Laplacian (the ELL-friendly PDE case the paper cites [2]);
+* power-law graph adjacency (the LAV case [16], via networkx);
+* random banded matrices (generic regular sparsity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.coo import COOMatrix
+
+
+def laplacian_2d(grid: int, dtype=np.float64) -> COOMatrix:
+    """5-point finite-difference Laplacian on a ``grid x grid`` mesh.
+
+    The elliptic-PDE matrix of the paper's ELL citation: exactly <= 5 nnz
+    per row, perfectly regular — the sparsity pattern ELL was built for.
+    """
+    if grid < 2:
+        raise ValidationError("grid must be >= 2")
+    n = grid * grid
+    idx = np.arange(n)
+    i, j = idx // grid, idx % grid
+    rows, cols, vals = [idx], [idx], [np.full(n, 4.0)]
+    for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        ni, nj = i + di, j + dj
+        ok = (ni >= 0) & (ni < grid) & (nj >= 0) & (nj < grid)
+        rows.append(idx[ok])
+        cols.append((ni * grid + nj)[ok])
+        vals.append(np.full(int(ok.sum()), -1.0))
+    return COOMatrix.from_coo(
+        (n, n),
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(vals).astype(dtype),
+    )
+
+
+def powerlaw_graph(n: int, *, m: int = 4, seed: int = 0, dtype=np.float64) -> COOMatrix:
+    """Adjacency matrix of a Barabasi-Albert power-law graph.
+
+    The skewed row-length distribution of social-network SpMV (the LAV
+    setting): a few hub rows are orders of magnitude denser than the
+    median row, the worst case for ELL and the motivation for
+    merge-path/hybrid schedules.
+    """
+    import networkx as nx
+
+    if n <= m:
+        raise ValidationError("n must exceed m")
+    g = nx.barabasi_albert_graph(n, m, seed=seed)
+    edges = np.asarray(list(g.edges()), dtype=np.int64)
+    rows = np.concatenate([edges[:, 0], edges[:, 1]])
+    cols = np.concatenate([edges[:, 1], edges[:, 0]])
+    vals = np.ones(rows.size, dtype=dtype)
+    return COOMatrix.from_coo((n, n), rows, cols, vals)
+
+
+def random_banded(
+    n: int, *, bandwidth: int = 8, density: float = 0.5, seed: int = 0,
+    dtype=np.float64,
+) -> COOMatrix:
+    """Random matrix with nonzeros confined to a diagonal band."""
+    if bandwidth < 1 or not (0 < density <= 1):
+        raise ValidationError("bandwidth >= 1 and density in (0, 1] required")
+    rng = np.random.default_rng(seed)
+    offsets = np.arange(-bandwidth, bandwidth + 1)
+    rows_parts, cols_parts, vals_parts = [], [], []
+    for off in offsets:
+        length = n - abs(off)
+        keep = rng.random(length) < density
+        r = np.arange(max(0, -off), max(0, -off) + length)[keep]
+        rows_parts.append(r)
+        cols_parts.append(r + off)
+        vals_parts.append(rng.standard_normal(int(keep.sum())))
+    return COOMatrix.from_coo(
+        (n, n),
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        np.concatenate(vals_parts).astype(dtype),
+    )
+
+
+def row_skew(coo: COOMatrix) -> float:
+    """Max-row-nnz over mean-row-nnz — the load-imbalance indicator."""
+    counts = coo.row_nnz()
+    mean = counts.mean()
+    return float(counts.max() / mean) if mean else 0.0

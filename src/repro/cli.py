@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``         environment, backend, registered formats, datasets
+``spmv``         benchmark formats on a dataset or generated matrix
+``convert``      build a CSCV matrix and save it to .npz
+``reconstruct``  run an iterative solver on a phantom, report quality
+``experiment``   regenerate one of the paper's tables/figures
+``calibrate``    measure this host and validate the performance model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args) -> int:
+    from repro import __version__, available_formats
+    from repro.bench.datasets import DATASETS
+    from repro.kernels import dispatch
+
+    print(f"repro {__version__}")
+    print(f"backend in use : {dispatch.backend_in_use()}")
+    print(f"omp max threads: {dispatch.omp_threads()}")
+    print(f"formats        : {', '.join(available_formats())}")
+    print("datasets       :")
+    for name, ds in DATASETS.items():
+        print(f"  {name:16s} {ds.image_size}^2 image, {ds.num_views} views "
+              f"(paper: {ds.paper.img})")
+    return 0
+
+
+def _cmd_spmv(args) -> int:
+    from repro.bench.datasets import get_dataset
+    from repro.bench.harness import run_suite
+    from repro.core.params import CSCVParams
+    from repro.utils.tables import Table
+
+    dtype = np.float64 if args.double else np.float32
+    coo, geom = get_dataset(args.dataset).load(dtype=dtype)
+    names = args.formats.split(",") if args.formats else [
+        "csr", "mkl-csr", "spc5", "cscv-z", "cscv-m",
+    ]
+    params = CSCVParams(args.s_vvec, args.s_imgb, args.s_vxg)
+    records = run_suite(coo, geom, names, dtype=dtype, params=params,
+                        iterations=args.iterations)
+    t = Table(headers=["format", "GFLOP/s", "ms", "BW GB/s"], fmt=".2f",
+              title=f"{args.dataset} ({np.dtype(dtype)}, nnz {coo.nnz:,})")
+    for r in records:
+        t.add_row(r.format_name, r.gflops, r.seconds * 1e3, r.bw_gbs)
+    t.mark_extremes(1)
+    print(t.render())
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from repro.bench.datasets import get_dataset
+    from repro.core.builder import build_cscv
+    from repro.core.io import save_cscv
+    from repro.core.params import CSCVParams
+
+    dtype = np.float64 if args.double else np.float32
+    coo, geom = get_dataset(args.dataset).load(dtype=dtype)
+    params = CSCVParams(args.s_vvec, args.s_imgb, args.s_vxg)
+    data = build_cscv(coo.rows, coo.cols, coo.vals, geom, params, dtype,
+                      reference_mode=args.reference_mode)
+    save_cscv(args.output, data)
+    print(f"wrote {args.output}: nnz {data.nnz:,}, R_nnzE {data.r_nnze:.3f}, "
+          f"{data.num_vxg:,} VxGs in {data.num_blocks:,} blocks")
+    return 0
+
+
+def _cmd_reconstruct(args) -> int:
+    from repro.api import build_ct_matrix
+    from repro.core.format_z import CSCVZMatrix
+    from repro.core.params import CSCVParams
+    from repro.geometry.phantom import shepp_logan
+    from repro.recon import (
+        ProjectionOperator, art_reconstruct, cgls_reconstruct,
+        fbp_reconstruct, relative_error, sirt_reconstruct,
+    )
+
+    coo, geom = build_ct_matrix(args.size, num_views=2 * args.size)
+    truth = shepp_logan(args.size).ravel()
+    op = ProjectionOperator(CSCVZMatrix.from_ct(coo, geom, CSCVParams(8, 16, 2)))
+    sino = op.forward(truth)
+    solvers = {
+        "sirt": lambda: sirt_reconstruct(op, sino, iterations=args.iterations),
+        "cgls": lambda: cgls_reconstruct(op, sino, iterations=args.iterations),
+        "art": lambda: art_reconstruct(op, sino, iterations=args.iterations),
+        "fbp": lambda: fbp_reconstruct(op, sino, geom),
+    }
+    if args.solver not in solvers:
+        print(f"unknown solver {args.solver}; options {sorted(solvers)}", file=sys.stderr)
+        return 2
+    x = solvers[args.solver]()
+    print(f"{args.solver} on {args.size}^2 Shepp-Logan: "
+          f"relative error {relative_error(x, truth):.4f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    mod = importlib.import_module(f"repro.bench.experiments.{args.name}")
+    print(mod.run())
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.bench.calibrate import calibrate_host, validation_report
+
+    machine = calibrate_host()
+    print(validation_report(machine))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="environment and registry summary")
+
+    sp = sub.add_parser("spmv", help="benchmark SpMV formats")
+    sp.add_argument("--dataset", default="clinical-small")
+    sp.add_argument("--formats", default="", help="comma-separated names")
+    sp.add_argument("--double", action="store_true")
+    sp.add_argument("--iterations", type=int, default=30)
+    sp.add_argument("--s-vvec", type=int, default=16)
+    sp.add_argument("--s-imgb", type=int, default=16)
+    sp.add_argument("--s-vxg", type=int, default=2)
+
+    cv = sub.add_parser("convert", help="build + save a CSCV matrix")
+    cv.add_argument("output")
+    cv.add_argument("--dataset", default="clinical-small")
+    cv.add_argument("--double", action="store_true")
+    cv.add_argument("--s-vvec", type=int, default=16)
+    cv.add_argument("--s-imgb", type=int, default=16)
+    cv.add_argument("--s-vxg", type=int, default=2)
+    cv.add_argument("--reference-mode", default="ioblr", choices=["ioblr", "btb"])
+
+    rc = sub.add_parser("reconstruct", help="reconstruct a phantom")
+    rc.add_argument("--solver", default="sirt")
+    rc.add_argument("--size", type=int, default=64)
+    rc.add_argument("--iterations", type=int, default=50)
+
+    ex = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    ex.add_argument("name", help="table1..table4, fig1..fig11")
+
+    sub.add_parser("calibrate", help="calibrate the host performance model")
+    return p
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "spmv": _cmd_spmv,
+    "convert": _cmd_convert,
+    "reconstruct": _cmd_reconstruct,
+    "experiment": _cmd_experiment,
+    "calibrate": _cmd_calibrate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""Global configuration for the repro library.
+
+Centralises dtype policy, default CSCV parameters, backend selection and
+environment-variable overrides.  Everything here is intentionally plain
+data so tests can monkeypatch it safely.
+
+Environment variables
+---------------------
+``REPRO_BACKEND``
+    ``"auto"`` (default), ``"numpy"`` or ``"c"``.  ``auto`` prefers the
+    compiled C backend when a working C compiler is available and silently
+    falls back to NumPy otherwise.
+``REPRO_CC``
+    C compiler executable used to build the kernel library (default
+    ``cc`` then ``gcc``).
+``REPRO_CACHE_DIR``
+    Directory for the compiled kernel shared object (default:
+    ``~/.cache/repro-kernels``).
+``REPRO_THREADS``
+    Default thread count for multi-threaded SpMV (default: CPU count).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: dtypes supported by every format and kernel in the library.
+SUPPORTED_DTYPES: tuple[np.dtype, ...] = (np.dtype(np.float32), np.dtype(np.float64))
+
+#: Default index dtype for all sparse formats (32-bit is what the paper's
+#: implementation uses; matrices here never exceed 2^31 rows/cols/nnz).
+INDEX_DTYPE = np.dtype(np.int32)
+
+#: Default CSCVE vector length (elements per SIMD vector group).  8 matches
+#: an AVX-512 register of float64 or an AVX2 register of float32, and is the
+#: paper's running-example value (Table I).
+DEFAULT_S_VVEC = 8
+
+#: Default image-block edge length (pixels), paper Table III uses 16-64.
+DEFAULT_S_IMGB = 16
+
+#: Default number of CSCVEs concatenated into one VxG.
+DEFAULT_S_VXG = 2
+
+
+def env_backend() -> str:
+    """Return the backend requested via ``REPRO_BACKEND`` (normalised)."""
+    value = os.environ.get("REPRO_BACKEND", "auto").strip().lower()
+    if value not in ("auto", "numpy", "c"):
+        raise ValueError(f"REPRO_BACKEND must be auto|numpy|c, got {value!r}")
+    return value
+
+
+def env_threads() -> int:
+    """Default thread count: ``REPRO_THREADS`` or the CPU count."""
+    raw = os.environ.get("REPRO_THREADS")
+    if raw:
+        n = int(raw)
+        if n < 1:
+            raise ValueError("REPRO_THREADS must be >= 1")
+        return n
+    return os.cpu_count() or 1
+
+
+def cache_dir() -> str:
+    """Directory where compiled kernels are cached."""
+    default = os.path.join(os.path.expanduser("~"), ".cache", "repro-kernels")
+    return os.environ.get("REPRO_CACHE_DIR", default)
+
+
+@dataclass
+class RuntimeConfig:
+    """Mutable runtime knobs, exposed as :data:`repro.config.runtime`."""
+
+    backend: str = field(default_factory=env_backend)
+    threads: int = field(default_factory=env_threads)
+    #: When True, CSCV builders double-check permutations and paddings.
+    paranoid_checks: bool = False
+
+
+#: Singleton runtime configuration.
+runtime = RuntimeConfig()
+
+
+def normalize_dtype(dtype) -> np.dtype:
+    """Validate and canonicalise a floating dtype.
+
+    Raises
+    ------
+    ValueError
+        If *dtype* is not float32 or float64.
+    """
+    dt = np.dtype(dtype)
+    if dt not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"dtype {dt} unsupported; expected one of "
+            f"{[str(d) for d in SUPPORTED_DTYPES]}"
+        )
+    return dt

@@ -1,0 +1,159 @@
+"""Matrix blocking: image blocks x view groups.
+
+CSCV partitions the system matrix twice (Section IV-E: *"we use block
+partitioning for vector x and row partitioning for the matrix"*):
+
+* **columns** by image block — ``s_imgb x s_imgb`` pixel tiles, so each
+  block's slice of ``x`` is small and cache-resident;
+* **rows** by view group — ``s_vvec`` consecutive views, so a CSCVE lane
+  corresponds to one view of the group.
+
+A matrix block ``A^k`` is one (view group, image block) pair; it gets its
+own IOBLR permutation ``iota_k`` of the sinogram rows it touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import CSCVParams
+from repro.errors import ValidationError
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+
+
+@dataclass(frozen=True)
+class MatrixBlock:
+    """One (view group, image block) cell of the block grid."""
+
+    block_id: int
+    #: view range [v0, v1) — at most ``s_vvec`` views
+    v0: int
+    v1: int
+    #: image tile rows [i0, i1) and cols [j0, j1)
+    i0: int
+    i1: int
+    j0: int
+    j1: int
+
+    @property
+    def num_views(self) -> int:
+        return self.v1 - self.v0
+
+    @property
+    def reference_pixel(self) -> tuple[int, int]:
+        """Centre pixel of the image tile (the IOBLR reference)."""
+        return ((self.i0 + self.i1 - 1) // 2, (self.j0 + self.j1 - 1) // 2)
+
+    def pixel_ids(self, image_size: int) -> np.ndarray:
+        """Global column ids of the tile's pixels, row-major within tile."""
+        ii = np.arange(self.i0, self.i1)
+        jj = np.arange(self.j0, self.j1)
+        return (ii[:, None] * image_size + jj[None, :]).ravel()
+
+
+class BlockGrid:
+    """The full blocking of a geometry under given CSCV parameters."""
+
+    def __init__(self, geom: ParallelBeamGeometry, params: CSCVParams):
+        self.geom = geom
+        self.params = params
+        n = geom.image_size
+        self.tiles_per_side = (n + params.s_imgb - 1) // params.s_imgb
+        self.num_img_blocks = self.tiles_per_side**2
+        self.num_view_groups = (geom.num_views + params.s_vvec - 1) // params.s_vvec
+        self.num_blocks = self.num_img_blocks * self.num_view_groups
+
+    def block(self, block_id: int) -> MatrixBlock:
+        """Materialise the :class:`MatrixBlock` for *block_id*.
+
+        Block ids enumerate view groups (major) then image tiles (minor):
+        ``block_id = group * num_img_blocks + tile``.
+        """
+        if not (0 <= block_id < self.num_blocks):
+            raise ValidationError(
+                f"block_id {block_id} out of range [0, {self.num_blocks})"
+            )
+        group, tile = divmod(block_id, self.num_img_blocks)
+        ti, tj = divmod(tile, self.tiles_per_side)
+        s = self.params.s_imgb
+        n = self.geom.image_size
+        v0 = group * self.params.s_vvec
+        return MatrixBlock(
+            block_id=block_id,
+            v0=v0,
+            v1=min(v0 + self.params.s_vvec, self.geom.num_views),
+            i0=ti * s,
+            i1=min((ti + 1) * s, n),
+            j0=tj * s,
+            j1=min((tj + 1) * s, n),
+        )
+
+    # ------------------------------------------------------------------ #
+    # vectorised classification of COO entries
+
+    def classify(
+        self, rows: np.ndarray, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Map every nonzero to (block_id, lane, bin, local info).
+
+        Returns
+        -------
+        block_id : int64 array
+            ``group * num_img_blocks + tile`` per nonzero.
+        lane : int64 array
+            view index within the group (CSCVE lane), ``v % s_vvec``.
+        bin_ : int64 array
+            detector bin of the nonzero's row.
+        tile_of_col : int64 array
+            image-tile index of the nonzero's column.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        geom = self.geom
+        v, bin_ = rows // geom.num_bins, rows % geom.num_bins
+        group = v // self.params.s_vvec
+        lane = v % self.params.s_vvec
+        i, j = cols // geom.image_size, cols % geom.image_size
+        tile = (i // self.params.s_imgb) * self.tiles_per_side + (j // self.params.s_imgb)
+        block_id = group * self.num_img_blocks + tile
+        return block_id, lane, bin_, tile
+
+    def reference_pixels(self) -> tuple[np.ndarray, np.ndarray]:
+        """Reference pixel (i, j) arrays for every image tile."""
+        s = self.params.s_imgb
+        n = self.geom.image_size
+        t = np.arange(self.tiles_per_side)
+        lo = t * s
+        hi = np.minimum(lo + s, n)
+        centers = (lo + hi - 1) // 2
+        ti, tj = np.meshgrid(centers, centers, indexing="ij")
+        return ti.ravel(), tj.ravel()
+
+    def reference_bins(self) -> np.ndarray:
+        """Reference curve ``r[view, tile]``: min bin of each tile's
+        reference pixel at each view, **unclipped** (may exit the detector).
+
+        Vectorised over (views x tiles); this is the IOBLR anchor grid.
+        Dispatches on the geometry type — IOBLR only needs *a* reference
+        trajectory per tile, so fan-beam (and other line-integral
+        geometries) plug in here.
+        """
+        geom = self.geom
+        ri, rj = self.reference_pixels()
+        from repro.geometry.fan_beam import FanBeamGeometry
+
+        if isinstance(geom, FanBeamGeometry):
+            from repro.geometry.projector_fan import fan_reference_bins
+
+            return fan_reference_bins(geom, ri, rj)
+        half = (geom.image_size - 1) / 2.0
+        x = (rj - half) * geom.pixel_size
+        y = (half - ri) * geom.pixel_size
+        thetas = geom.view_angles()
+        ct, st = np.cos(thetas), np.sin(thetas)
+        s = np.outer(ct, x) + np.outer(st, y)  # (views, tiles)
+        w = (np.abs(ct) + np.abs(st))[:, None] * geom.pixel_size / 2.0
+        f_lo = (s - w) / geom.bin_spacing + geom.num_bins / 2.0
+        return np.floor(f_lo + 1e-12).astype(np.int64)

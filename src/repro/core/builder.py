@@ -1,0 +1,374 @@
+"""End-to-end CSCV construction: COO + geometry -> CSCV arrays.
+
+The conversion implements the paper's Fig 7 pipeline ("matrix format
+conversion before calculation") fully vectorised:
+
+1. **classify** every nonzero into its matrix block (view group x image
+   tile) and CSCVE lane (view within group);
+2. transform sinogram bins to **curve offsets** ``d = bin - r(view,
+   tile)`` against the per-tile reference curves (IOBLR);
+3. group nonzeros into **CSCVEs** — unique ``(block, column, d)`` triples,
+   each a dense ``s_vvec``-lane vector (missing lanes = padding zeros);
+4. pack each column's CSCVEs into **VxGs**: windows of ``s_vxg``
+   consecutive offsets anchored at the column's first offset (empty
+   offsets inside a window become whole padding CSCVEs — the red boxes of
+   Fig 6);
+5. emit per-block ``ytilde`` **maps** (``iota_k`` and its inverse) sized to
+   cover the offsets the block's VxGs reach.
+
+The output :class:`CSCVData` holds both granularities: VxG-level arrays
+(CSCV-Z streams these) and CSCVE-level masked/packed arrays (CSCV-M).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import INDEX_DTYPE, normalize_dtype
+from repro.core.blocks import BlockGrid
+from repro.core.params import CSCVParams
+from repro.errors import FormatError
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+
+
+@dataclass
+class CSCVData:
+    """All arrays produced by :func:`build_cscv` (shared by Z and M)."""
+
+    shape: tuple[int, int]
+    nnz: int
+    params: CSCVParams
+    dtype: np.dtype
+
+    # ---- VxG granularity (CSCV-Z) ----
+    #: dense values, ``num_vxg * vxg_len``, padding zeros included
+    values: np.ndarray = field(default=None)
+    #: global x column per VxG (int32)
+    vxg_col: np.ndarray = field(default=None)
+    #: start position in the block's ytilde per VxG (int32)
+    vxg_start: np.ndarray = field(default=None)
+    #: VxG ranges per (present) block, int64, len = num_blocks + 1
+    blk_vxg_ptr: np.ndarray = field(default=None)
+
+    # ---- VxG-aligned mask arrays (CSCV-M kernel granularity) ----
+    #: packed-value offset of each VxG's first value (int64)
+    vxg_voff: np.ndarray = field(default=None)
+    #: lane bitmask per VxG slot, ``num_vxg * s_vxg`` (uint32, 0 = empty)
+    vxg_masks: np.ndarray = field(default=None)
+
+    # ---- CSCVE granularity (analysis + NumPy path) ----
+    #: global x column per CSCVE (int32)
+    e_col: np.ndarray = field(default=None)
+    #: start position in ytilde per CSCVE (int32)
+    e_start: np.ndarray = field(default=None)
+    #: prefix offsets into ``packed`` per CSCVE (int64, len = num_e + 1)
+    voff: np.ndarray = field(default=None)
+    #: lane bitmask per CSCVE (uint32)
+    masks: np.ndarray = field(default=None)
+    #: packed nonzero values (length = nnz)
+    packed: np.ndarray = field(default=None)
+    #: CSCVE ranges per block (int64, len = num_blocks + 1)
+    blk_e_ptr: np.ndarray = field(default=None)
+
+    # ---- per-block reorder info ----
+    #: ytilde length per block (int64)
+    blk_ysize: np.ndarray = field(default=None)
+    #: ranges into ``ymap`` per block (int64, len = num_blocks + 1)
+    blk_map_ptr: np.ndarray = field(default=None)
+    #: ytilde position -> global row (int32, -1 = discard slot)
+    ymap: np.ndarray = field(default=None)
+    #: ids of the non-empty blocks in the full grid (diagnostics)
+    present_blocks: np.ndarray = field(default=None)
+
+    @property
+    def num_vxg(self) -> int:
+        return self.vxg_col.shape[0]
+
+    @property
+    def num_cscve(self) -> int:
+        return self.e_col.shape[0]
+
+    @property
+    def num_blocks(self) -> int:
+        return self.blk_ysize.shape[0]
+
+    @property
+    def stored_slots(self) -> int:
+        """Value slots in CSCV-Z storage (nnz + padding zeros)."""
+        return int(self.values.size)
+
+    @property
+    def r_nnze(self) -> float:
+        """The paper's zero-padding rate ``nnz(A~)/nnz(A) - 1``."""
+        return self.stored_slots / self.nnz - 1.0 if self.nnz else 0.0
+
+    @property
+    def max_ysize(self) -> int:
+        return int(self.blk_ysize.max()) if self.num_blocks else 0
+
+    def padding_per_cscve(self) -> np.ndarray:
+        """Padding zeros in each (non-empty) CSCVE — Fig 5 statistic."""
+        fill = np.diff(self.voff)
+        return self.params.s_vvec - fill
+
+
+def build_cscv(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    geom: ParallelBeamGeometry,
+    params: CSCVParams,
+    dtype=None,
+    *,
+    reference_mode: str = "ioblr",
+) -> CSCVData:
+    """Convert COO triplets of a CT system matrix into CSCV arrays.
+
+    Triplets must be deduplicated (each ``(row, col)`` at most once) —
+    :class:`repro.sparse.COOMatrix` guarantees this.
+
+    ``reference_mode`` selects the local-reordering ablation:
+
+    * ``"ioblr"`` (default) — reference curves follow the tile's
+      reference-pixel trajectory (the paper's design);
+    * ``"btb"`` — the reference is held *constant* within each view
+      group (the view-major / Block-Transpose-Buffer layout of [14]);
+      CSCVEs then run along constant-bin lines, which Fig 4 shows fill
+      far worse.  Results stay correct either way — only padding and
+      performance change.
+    """
+    dtype = normalize_dtype(dtype if dtype is not None else vals.dtype)
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals, dtype=dtype)
+    if not (rows.shape == cols.shape == vals.shape):
+        raise FormatError("rows/cols/vals must have equal shapes")
+    shape = (geom.num_rays, geom.num_pixels)
+    nnz = rows.size
+    s_vvec, s_vxg = params.s_vvec, params.s_vxg
+    vxg_len = params.vxg_len
+
+    if nnz == 0:
+        return _empty_data(shape, params, dtype)
+
+    if reference_mode not in ("ioblr", "btb"):
+        raise FormatError(f"unknown reference_mode {reference_mode!r}")
+    grid = BlockGrid(geom, params)
+    block_id, lane, bin_, tile = grid.classify(rows, cols)
+    refb = grid.reference_bins()                     # (views, tiles)
+    if reference_mode == "btb":
+        # view-major ablation: one constant reference per (group, tile)
+        refb = refb.copy()
+        for g in range(grid.num_view_groups):
+            v0 = g * s_vvec
+            v1 = min(v0 + s_vvec, geom.num_views)
+            refb[v0:v1] = refb[v0:v1].min(axis=0)
+    v = rows // geom.num_bins
+    d = bin_ - refb[v, tile]
+
+    # ------------------------------------------------------------------ #
+    # sort by (block, col, d, lane); build CSCVE ids
+    d_shift = d - d.min()
+    d_span = int(d_shift.max()) + 1
+    col_key = block_id * geom.num_pixels + cols       # unique per (block,col)
+    e_key = col_key * d_span + d_shift                # unique per CSCVE
+    full_key = e_key * s_vvec + lane
+    if np.log2(float(grid.num_blocks)) + np.log2(float(geom.num_pixels)) + np.log2(
+        float(d_span)
+    ) + np.log2(float(s_vvec)) > 62:
+        raise FormatError("matrix too large for int64 CSCV sort keys")
+    order = np.argsort(full_key, kind="stable")
+    e_key_s = e_key[order]
+    col_key_s = col_key[order]
+    block_s = block_id[order]
+    d_s = d[order]
+    lane_s = lane[order]
+    vals_s = vals[order]
+
+    # CSCVE boundaries (sorted, so equal keys are adjacent)
+    is_new_e = np.empty(nnz, dtype=bool)
+    is_new_e[0] = True
+    np.not_equal(e_key_s[1:], e_key_s[:-1], out=is_new_e[1:])
+    e_starts = np.flatnonzero(is_new_e)
+    num_e = e_starts.size
+    e_of_nnz = np.cumsum(is_new_e) - 1
+
+    e_block = block_s[e_starts]
+    e_colkey = col_key_s[e_starts]
+    e_col_global = (e_colkey % geom.num_pixels).astype(np.int64)
+    e_d = d_s[e_starts]
+
+    # duplicate (cscve, lane) pairs would mean duplicated COO entries
+    if np.any((np.diff(e_of_nnz) == 0) & (np.diff(lane_s) == 0)):
+        raise FormatError("duplicate (row, col) entries; coalesce the COO first")
+
+    # ------------------------------------------------------------------ #
+    # column groups over the CSCVE array; anchored VxG windows
+    is_new_c = np.empty(num_e, dtype=bool)
+    is_new_c[0] = True
+    np.not_equal(e_colkey[1:], e_colkey[:-1], out=is_new_c[1:])
+    c_starts = np.flatnonzero(is_new_c)
+    c_sizes = np.diff(np.append(c_starts, num_e))
+    # within a column CSCVEs are d-ascending, so the group's first d is min
+    d_anchor = np.repeat(e_d[c_starts], c_sizes)
+    w = (e_d - d_anchor) // s_vxg                     # window per CSCVE
+
+    is_new_g = is_new_c.copy()
+    is_new_g[1:] |= w[1:] != w[:-1]
+    g_starts = np.flatnonzero(is_new_g)
+    num_g = g_starts.size
+    g_of_e = np.cumsum(is_new_g) - 1
+
+    g_block = e_block[g_starts]
+    g_col = e_col_global[g_starts]
+    g_window_d = d_anchor[g_starts] + w[g_starts] * s_vxg  # first offset
+
+    # ------------------------------------------------------------------ #
+    # present blocks, ranges and ytilde geometry
+    is_new_b = np.empty(num_g, dtype=bool)
+    is_new_b[0] = True
+    np.not_equal(g_block[1:], g_block[:-1], out=is_new_b[1:])
+    b_starts_g = np.flatnonzero(is_new_b)
+    present_blocks = g_block[b_starts_g]
+    num_b = present_blocks.size
+    blk_vxg_ptr = np.append(b_starts_g, num_g).astype(np.int64)
+
+    # block ranges over the nonzero array (same ordering: block-major)
+    is_new_b_nnz = np.empty(nnz, dtype=bool)
+    is_new_b_nnz[0] = True
+    np.not_equal(block_s[1:], block_s[:-1], out=is_new_b_nnz[1:])
+    b_starts_nnz = np.flatnonzero(is_new_b_nnz)
+    blk_dmin = np.minimum.reduceat(d_s, b_starts_nnz)
+
+    # VxG overhang can extend past the largest nonzero offset
+    g_window_end = g_window_d + s_vxg - 1
+    blk_dmax = np.maximum.reduceat(g_window_end, b_starts_g)
+    blk_ysize = (blk_dmax - blk_dmin + 1) * s_vvec
+
+    # block ranges over the CSCVE array
+    is_new_b_e = np.empty(num_e, dtype=bool)
+    is_new_b_e[0] = True
+    np.not_equal(e_block[1:], e_block[:-1], out=is_new_b_e[1:])
+    blk_e_ptr = np.append(np.flatnonzero(is_new_b_e), num_e).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # value placement
+    b_of_g = np.cumsum(is_new_b) - 1                  # block index per VxG
+    b_of_e = b_of_g[g_of_e]
+    b_of_nnz = b_of_e[e_of_nnz]
+
+    vxg_start = ((g_window_d - blk_dmin[b_of_g]) * s_vvec).astype(INDEX_DTYPE)
+    e_start = ((e_d - blk_dmin[b_of_e]) * s_vvec).astype(INDEX_DTYPE)
+
+    values = np.zeros(num_g * vxg_len, dtype=dtype)
+    e_local = e_d - g_window_d[g_of_e]                # CSCVE index in window
+    slot = g_of_e[e_of_nnz] * vxg_len + e_local[e_of_nnz] * s_vvec + lane_s
+    values[slot] = vals_s
+
+    # CSCV-M: masks + packed values (vals_s is already CSCVE/lane ordered)
+    bits = (np.uint32(1) << lane_s.astype(np.uint32)).astype(np.uint32)
+    masks = np.bitwise_or.reduceat(bits, e_starts).astype(np.uint32)
+    voff = np.append(e_starts, nnz).astype(np.int64)
+
+    # VxG-aligned mask grid + per-VxG packed offsets (the M kernel's view:
+    # one (col, start, voff) triple per VxG, s_vxg masks, empty slots = 0)
+    vxg_masks = np.zeros(num_g * s_vxg, dtype=np.uint32)
+    vxg_masks[g_of_e * s_vxg + e_local] = masks
+    vxg_voff = voff[g_starts]
+
+    # ------------------------------------------------------------------ #
+    # ytilde -> global row maps
+    blk_map_ptr = np.zeros(num_b + 1, dtype=np.int64)
+    np.cumsum(blk_ysize, out=blk_map_ptr[1:])
+    total_slots = int(blk_map_ptr[-1])
+    slot_block = np.repeat(np.arange(num_b), blk_ysize)
+    slot_pos = np.arange(total_slots) - blk_map_ptr[slot_block]
+    slot_lane = slot_pos % s_vvec
+    slot_d = blk_dmin[slot_block] + slot_pos // s_vvec
+
+    group_of_block = present_blocks // grid.num_img_blocks
+    tile_of_block = present_blocks % grid.num_img_blocks
+    slot_view = group_of_block[slot_block] * s_vvec + slot_lane
+    view_ok = slot_view < geom.num_views
+    slot_view_c = np.minimum(slot_view, geom.num_views - 1)
+    slot_bin = refb[slot_view_c, tile_of_block[slot_block]] + slot_d
+    valid = view_ok & (slot_bin >= 0) & (slot_bin < geom.num_bins)
+    ymap = np.where(valid, slot_view * geom.num_bins + slot_bin, -1).astype(np.int32)
+
+    data = CSCVData(
+        shape=shape,
+        nnz=nnz,
+        params=params,
+        dtype=dtype,
+        values=values,
+        vxg_col=g_col.astype(INDEX_DTYPE),
+        vxg_start=vxg_start,
+        blk_vxg_ptr=blk_vxg_ptr,
+        vxg_voff=vxg_voff.copy(),
+        vxg_masks=vxg_masks,
+        e_col=e_col_global.astype(INDEX_DTYPE),
+        e_start=e_start,
+        voff=voff,
+        masks=masks,
+        packed=vals_s.copy(),
+        blk_e_ptr=blk_e_ptr,
+        blk_ysize=blk_ysize.astype(np.int64),
+        blk_map_ptr=blk_map_ptr,
+        ymap=ymap,
+        present_blocks=present_blocks.astype(np.int64),
+    )
+    _validate(data)
+    return data
+
+
+def _empty_data(shape, params, dtype) -> CSCVData:
+    return CSCVData(
+        shape=shape,
+        nnz=0,
+        params=params,
+        dtype=dtype,
+        values=np.zeros(0, dtype=dtype),
+        vxg_col=np.zeros(0, dtype=INDEX_DTYPE),
+        vxg_start=np.zeros(0, dtype=INDEX_DTYPE),
+        blk_vxg_ptr=np.zeros(1, dtype=np.int64),
+        vxg_voff=np.zeros(0, dtype=np.int64),
+        vxg_masks=np.zeros(0, dtype=np.uint32),
+        e_col=np.zeros(0, dtype=INDEX_DTYPE),
+        e_start=np.zeros(0, dtype=INDEX_DTYPE),
+        voff=np.zeros(1, dtype=np.int64),
+        masks=np.zeros(0, dtype=np.uint32),
+        packed=np.zeros(0, dtype=dtype),
+        blk_e_ptr=np.zeros(1, dtype=np.int64),
+        blk_ysize=np.zeros(0, dtype=np.int64),
+        blk_map_ptr=np.zeros(1, dtype=np.int64),
+        ymap=np.zeros(0, dtype=np.int32),
+        present_blocks=np.zeros(0, dtype=np.int64),
+    )
+
+
+def _validate(data: CSCVData) -> None:
+    """Structural invariants; cheap checks always, deep checks when
+    ``config.runtime.paranoid_checks`` is set."""
+    from repro import config
+
+    p = data.params
+    if data.num_vxg and int(data.vxg_start.max()) + p.vxg_len > int(
+        np.repeat(data.blk_ysize, np.diff(data.blk_vxg_ptr)).max()
+        if data.num_blocks
+        else 0
+    ):
+        # per-VxG bound: start + vxg_len <= its block's ysize
+        ysz = np.repeat(data.blk_ysize, np.diff(data.blk_vxg_ptr))
+        if np.any(data.vxg_start.astype(np.int64) + p.vxg_len > ysz):
+            raise FormatError("VxG overruns its block's ytilde")
+    if data.voff[-1] != data.nnz:
+        raise FormatError("packed value count disagrees with nnz")
+    if config.runtime.paranoid_checks and data.num_blocks:
+        # every valid map slot must be a distinct global row per block
+        for b in range(data.num_blocks):
+            seg = data.ymap[data.blk_map_ptr[b] : data.blk_map_ptr[b + 1]]
+            valid = seg[seg >= 0]
+            if valid.size != np.unique(valid).size:
+                raise FormatError(f"block {b}: ymap not injective")

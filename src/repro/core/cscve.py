@@ -1,0 +1,146 @@
+"""Single-block CSCVE analysis — the statistics behind Figs 3 and 5.
+
+These helpers look at one matrix block under a *chosen* reference pixel
+(not necessarily the tile centre), producing per-pixel CSCVE layouts,
+padding-zero counts, CSCVE counts and curve offsets.  Fig 5 sweeps the
+reference-pixel choice over the whole tile to show the centre is a good
+anchor; Fig 3 draws the resulting memory layout.
+
+The heavy, whole-matrix path lives in :mod:`repro.core.builder`; this
+module trades speed for introspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocks import MatrixBlock
+from repro.errors import ValidationError
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+from repro.geometry.trajectory import pixel_trajectory, reference_trajectory
+
+
+@dataclass(frozen=True)
+class PixelCSCVEStats:
+    """CSCVE statistics of one pixel column in one block."""
+
+    pixel: tuple[int, int]
+    num_cscve: int
+    nnz: int
+    padding: int
+    offsets: tuple[int, ...]
+
+    @property
+    def padding_rate(self) -> float:
+        """Per-column ``R_nnzE``."""
+        return self.padding / self.nnz if self.nnz else 0.0
+
+
+def column_cscves(
+    geom: ParallelBeamGeometry,
+    block: MatrixBlock,
+    pixel: tuple[int, int],
+    reference: tuple[int, int],
+    s_vvec: int,
+) -> dict[int, np.ndarray]:
+    """CSCVE occupancy of a pixel column: offset d -> boolean lane vector.
+
+    A lane is occupied when the pixel's trajectory at that view covers bin
+    ``r(view) + d`` of the reference curve ``r``.
+    """
+    views = np.arange(block.v0, block.v1)
+    if views.size > s_vvec:
+        raise ValidationError("block has more views than s_vvec lanes")
+    lo, hi = pixel_trajectory(geom, *pixel, views, clip=False)
+    r = reference_trajectory(geom, *reference, views)
+    cscves: dict[int, np.ndarray] = {}
+    for j in range(views.size):
+        for b in range(int(lo[j]), int(hi[j]) + 1):
+            d = b - int(r[j])
+            lanes = cscves.setdefault(d, np.zeros(s_vvec, dtype=bool))
+            lanes[j] = True
+    return cscves
+
+
+def pixel_stats(
+    geom: ParallelBeamGeometry,
+    block: MatrixBlock,
+    pixel: tuple[int, int],
+    reference: tuple[int, int],
+    s_vvec: int,
+) -> PixelCSCVEStats:
+    """Padding/CSCVE-count stats of one pixel under one reference choice."""
+    cscves = column_cscves(geom, block, pixel, reference, s_vvec)
+    nnz = sum(int(v.sum()) for v in cscves.values())
+    slots = len(cscves) * s_vvec
+    return PixelCSCVEStats(
+        pixel=pixel,
+        num_cscve=len(cscves),
+        nnz=nnz,
+        padding=slots - nnz,
+        offsets=tuple(sorted(cscves)),
+    )
+
+
+def reference_sweep(
+    geom: ParallelBeamGeometry,
+    block: MatrixBlock,
+    s_vvec: int,
+) -> dict[str, np.ndarray]:
+    """Fig 5: sweep the reference pixel over the tile.
+
+    For every candidate reference pixel, sum over all tile pixels the
+    padding zeros, the CSCVE count, and the span of curve offsets.
+    Returns 2-D grids keyed ``"padding"``, ``"cscve_count"``,
+    ``"offset_span"`` of shape (tile_rows, tile_cols).
+    """
+    ti = block.i1 - block.i0
+    tj = block.j1 - block.j0
+    padding = np.zeros((ti, tj), dtype=np.int64)
+    counts = np.zeros((ti, tj), dtype=np.int64)
+    spans = np.zeros((ti, tj), dtype=np.int64)
+    pixels = [
+        (i, j)
+        for i in range(block.i0, block.i1)
+        for j in range(block.j0, block.j1)
+    ]
+    for ri in range(block.i0, block.i1):
+        for rj in range(block.j0, block.j1):
+            pad = cnt = 0
+            d_lo, d_hi = 10**9, -(10**9)
+            for pix in pixels:
+                st = pixel_stats(geom, block, pix, (ri, rj), s_vvec)
+                pad += st.padding
+                cnt += st.num_cscve
+                if st.offsets:
+                    d_lo = min(d_lo, st.offsets[0])
+                    d_hi = max(d_hi, st.offsets[-1])
+            padding[ri - block.i0, rj - block.j0] = pad
+            counts[ri - block.i0, rj - block.j0] = cnt
+            spans[ri - block.i0, rj - block.j0] = (d_hi - d_lo + 1) if cnt else 0
+    return {"padding": padding, "cscve_count": counts, "offset_span": spans}
+
+
+def layout_ascii(
+    geom: ParallelBeamGeometry,
+    block: MatrixBlock,
+    pixel: tuple[int, int],
+    s_vvec: int,
+) -> str:
+    """Fig 3: render one column's CSCVEs as lanes along the reference curve.
+
+    ``#`` marks a stored nonzero, ``.`` a padding zero; one text row per
+    curve offset, one character per lane (view).
+    """
+    cscves = column_cscves(geom, block, pixel, block.reference_pixel, s_vvec)
+    if not cscves:
+        return "(empty column)"
+    lines = [f"pixel {pixel}, reference {block.reference_pixel}"]
+    for d in sorted(cscves):
+        lanes = cscves[d]
+        lines.append(
+            f"  d={d:+3d} |" + "".join("#" if o else "." for o in lanes) + "|"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""CSCV-Z: the padding-keeping CSCV execution format.
+
+CSCV-Z streams every value slot, padding zeros included.  Its inner loop
+is the cheapest possible — load a contiguous vector, FMA, store — with no
+masks and no expansion, making it the **latency-bound champion** (best at
+low thread counts, Section V-E).  The price is ``R_nnzE`` extra memory
+traffic, which caps it once the machine becomes bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import INDEX_DTYPE
+from repro.core.builder import CSCVData, build_cscv
+from repro.core.params import CSCVParams
+from repro.core.spmv import resolve_flat_rows_z, spmv_z
+from repro.errors import FormatError
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+from repro.sparse.matrix_base import SpMVFormat, register_format
+
+
+@register_format
+class CSCVZMatrix(SpMVFormat):
+    """CSCV with padding zeros stored (paper's CSCV-Z)."""
+
+    name = "cscv-z"
+
+    def __init__(self, data: CSCVData, threads: int | None = None):
+        super().__init__(data.shape, data.nnz, data.dtype)
+        self.data = data
+        self.threads = threads
+        self._flat_rows: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    @classmethod
+    def from_ct(
+        cls,
+        coo,
+        geom: ParallelBeamGeometry,
+        params: CSCVParams | None = None,
+        *,
+        dtype=None,
+        threads: int | None = None,
+        reference_mode: str = "ioblr",
+    ) -> "CSCVZMatrix":
+        """Build from a :class:`~repro.sparse.COOMatrix` and its geometry.
+
+        ``reference_mode="btb"`` selects the view-major ablation layout
+        (see :func:`repro.core.builder.build_cscv`).
+        """
+        params = params or CSCVParams()
+        if coo.shape != (geom.num_rays, geom.num_pixels):
+            raise FormatError(
+                f"matrix shape {coo.shape} does not match geometry "
+                f"{(geom.num_rays, geom.num_pixels)}"
+            )
+        data = build_cscv(
+            coo.rows, coo.cols, coo.vals, geom, params, dtype,
+            reference_mode=reference_mode,
+        )
+        return cls(data, threads)
+
+    @classmethod
+    def from_coo(cls, shape, rows, cols, vals, *, geom=None, params=None, **kwargs):
+        """SpMVFormat contract; requires ``geom=`` (CSCV needs the operator)."""
+        if geom is None:
+            raise FormatError("CSCV requires geom= (the integral-operator geometry)")
+        from repro.sparse.coo import COOMatrix
+
+        coo = COOMatrix.from_coo(shape, rows, cols, vals, dtype=kwargs.pop("dtype", None))
+        return cls.from_ct(coo, geom, params, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # SpMV
+
+    def spmv_into(self, x, y):
+        x = self._check_x(x)
+        return spmv_z(self.data, x, y, threads=self.threads, flat_rows=self._rows())
+
+    def _rows(self) -> np.ndarray:
+        if self._flat_rows is None:
+            self._flat_rows = resolve_flat_rows_z(self.data)
+        return self._flat_rows
+
+    def transpose_spmv(self, y_in: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``x = A^T y`` — back-projection through the same VxG stream.
+
+        For CSCV this direction is gather-only: load the contiguous
+        ``ytilde`` slots, dot with the VxG values, accumulate into
+        ``x[col]`` (the paper's announced future work, implemented here).
+        """
+        from repro import config
+        from repro.kernels import dispatch
+        from repro.utils.arrays import check_1d, ensure_dtype
+
+        y_in = ensure_dtype(check_1d(y_in, self.shape[0], "y"), self.dtype, "y")
+        if out is None:
+            out = np.zeros(self.shape[1], dtype=self.dtype)
+        else:
+            out[:] = 0
+        d = self.data
+        if d.nnz == 0:
+            return out
+        fn = dispatch.get("cscv_z_tspmv", self.dtype)
+        if fn is not None:
+            fn(
+                self.shape[1],
+                d.num_blocks,
+                d.blk_vxg_ptr,
+                d.vxg_col,
+                d.vxg_start,
+                d.values,
+                d.params.vxg_len,
+                d.blk_ysize,
+                d.blk_map_ptr,
+                d.ymap,
+                y_in,
+                out,
+                d.max_ysize,
+                int(self.threads or config.runtime.threads),
+            )
+            return out
+        rows = self._rows()
+        valid = rows >= 0
+        vxg_len = d.params.vxg_len
+        contrib = np.zeros(d.num_vxg * vxg_len, dtype=np.float64)
+        contrib[valid] = d.values[valid] * y_in[rows[valid]]
+        per_vxg = contrib.reshape(d.num_vxg, vxg_len).sum(axis=1)
+        out += np.bincount(
+            d.vxg_col.astype(np.int64), weights=per_vxg, minlength=self.shape[1]
+        ).astype(self.dtype, copy=False)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # accounting
+
+    @property
+    def r_nnze(self) -> float:
+        """Zero-padding rate of the stored values."""
+        return self.data.r_nnze
+
+    @property
+    def params(self) -> CSCVParams:
+        return self.data.params
+
+    def memory_bytes(self):
+        """Paper-model traffic: padded values + VxG index + reorder maps.
+
+        Per VxG one ``(column, start)`` pair; per block the pointer/ysize
+        metadata; the ``ymap`` permutation is streamed once per block
+        during the reorder steps of Algorithm 3.
+        """
+        d = self.data
+        values = d.values.nbytes
+        idx = (
+            d.vxg_col.nbytes
+            + d.vxg_start.nbytes
+            + d.blk_vxg_ptr.nbytes
+            + d.blk_ysize.nbytes
+            + d.blk_map_ptr.nbytes
+            + d.ymap.nbytes
+        )
+        return {"values": values, "indices": idx, "total": values + idx}
+
+    def index_compression_vs_csc(self) -> float:
+        """Index bytes relative to CSC (paper: ~0.03x with VxGs)."""
+        csc_idx = (self.shape[1] + 1 + self.nnz) * INDEX_DTYPE.itemsize
+        return self.memory_bytes()["indices"] / csc_idx if csc_idx else 0.0
+
+    def to_dense(self):
+        dense = np.zeros(self.shape, dtype=self.dtype)
+        d = self.data
+        if d.nnz == 0:
+            return dense
+        rows = self._rows()
+        cols = np.repeat(d.vxg_col.astype(np.int64), d.params.vxg_len)
+        valid = (rows >= 0) & (d.values != 0)
+        dense[rows[valid], cols[valid]] = d.values[valid]
+        return dense

@@ -1,0 +1,90 @@
+"""CSCV serialization: save/load converted matrices.
+
+The Fig 7 pipeline's conversion step costs hundreds of milliseconds to
+seconds; production CT reconstructors convert once per scanner geometry
+and reuse the matrix across patients.  This module persists a
+:class:`~repro.core.builder.CSCVData` (plus its parameter triple and
+shape) to a single compressed ``.npz`` and restores it bit-exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.builder import CSCVData
+from repro.core.params import CSCVParams
+from repro.errors import FormatError
+
+#: bump when the array layout changes
+FORMAT_VERSION = 1
+
+_ARRAYS = (
+    "values",
+    "vxg_col",
+    "vxg_start",
+    "blk_vxg_ptr",
+    "vxg_voff",
+    "vxg_masks",
+    "e_col",
+    "e_start",
+    "voff",
+    "masks",
+    "packed",
+    "blk_e_ptr",
+    "blk_ysize",
+    "blk_map_ptr",
+    "ymap",
+    "present_blocks",
+)
+
+
+def save_cscv(path, data: CSCVData) -> None:
+    """Write *data* to *path* as a compressed ``.npz``."""
+    path = Path(path)
+    meta = np.array(
+        [
+            FORMAT_VERSION,
+            data.shape[0],
+            data.shape[1],
+            data.nnz,
+            data.params.s_vvec,
+            data.params.s_imgb,
+            data.params.s_vxg,
+        ],
+        dtype=np.int64,
+    )
+    arrays = {name: getattr(data, name) for name in _ARRAYS}
+    np.savez_compressed(path, _meta=meta, **arrays)
+
+
+def load_cscv(path) -> CSCVData:
+    """Restore a :class:`CSCVData` saved by :func:`save_cscv`.
+
+    Raises
+    ------
+    FormatError
+        On version mismatch or missing arrays.
+    """
+    path = Path(path)
+    with np.load(path) as z:
+        if "_meta" not in z:
+            raise FormatError(f"{path} is not a CSCV file (no _meta)")
+        meta = z["_meta"]
+        if int(meta[0]) != FORMAT_VERSION:
+            raise FormatError(
+                f"CSCV file version {int(meta[0])} != supported {FORMAT_VERSION}"
+            )
+        missing = [n for n in _ARRAYS if n not in z]
+        if missing:
+            raise FormatError(f"CSCV file missing arrays: {missing}")
+        arrays = {name: z[name] for name in _ARRAYS}
+    params = CSCVParams(int(meta[4]), int(meta[5]), int(meta[6]))
+    return CSCVData(
+        shape=(int(meta[1]), int(meta[2])),
+        nnz=int(meta[3]),
+        params=params,
+        dtype=arrays["values"].dtype,
+        **arrays,
+    )

@@ -1,0 +1,201 @@
+"""IOBLR — Integral Operator Based Local Reordering.
+
+The heart of CSCV (Section IV-C).  Within one matrix block, the sinogram
+coordinates ``(view, bin)`` of the rows the block touches are transformed
+into *curve coordinates* ``(offset d, lane j)``:
+
+* lane ``j`` is the view's index inside the view group;
+* ``d = bin - r(j)`` where ``r`` is the **reference curve** — the minimum
+  bin the block's reference pixel (tile centre) touches at each view.
+
+Because trajectories of pixels near the reference are piecewise parallel
+to the reference curve (properties P1/P2), each pixel's nonzeros occupy a
+narrow band of offsets, and all ``s_vvec`` lanes of one offset are stored
+contiguously in the reordered vector ``ytilde``:
+
+    ytilde[(d - d_min) * s_vvec + j]  <->  y[row(v0 + j, r(j) + d)]
+
+which turns the SpMV inner loop into contiguous vector FMAs.
+
+This module builds the per-block mapping (``iota_k`` in Algorithm 3) and
+provides the three-layout SIMD-efficiency comparison of Fig 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocks import MatrixBlock
+from repro.errors import ValidationError
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+from repro.geometry.trajectory import pixel_trajectory, reference_trajectory
+
+
+@dataclass
+class IOBLRMapping:
+    """The local permutation ``iota_k`` of one matrix block.
+
+    Attributes
+    ----------
+    ref_bins : int64 array, shape (s_vvec,)
+        Reference curve ``r(j)`` (unclipped min bin of the reference
+        pixel), one entry per lane; lanes beyond the group's real view
+        count hold a copy of the last valid entry.
+    d_min, d_max : int
+        Offset band covered by ``ytilde`` (inclusive).
+    s_vvec : int
+        Lane count.
+    num_valid_views : int
+        Real views in the group (< s_vvec only for the tail group).
+    """
+
+    ref_bins: np.ndarray
+    d_min: int
+    d_max: int
+    s_vvec: int
+    num_valid_views: int
+    v0: int
+    num_bins: int
+
+    @property
+    def ysize(self) -> int:
+        """Length of the block's ``ytilde`` scratch vector."""
+        return (self.d_max - self.d_min + 1) * self.s_vvec
+
+    def position(self, lane, d) -> np.ndarray:
+        """``ytilde`` position of curve coordinate ``(d, lane)``."""
+        return (np.asarray(d) - self.d_min) * self.s_vvec + np.asarray(lane)
+
+    def to_curve(self, lane, bin_) -> np.ndarray:
+        """Offset ``d`` of sinogram coordinate ``(lane, bin)``."""
+        return np.asarray(bin_) - self.ref_bins[np.asarray(lane)]
+
+    def global_map(self) -> np.ndarray:
+        """``map[p] -> global sinogram row`` (or -1 for invalid slots).
+
+        A slot is invalid when its lane exceeds the group's real view
+        count or its bin ``r(j) + d`` exits the detector.
+        """
+        d = np.arange(self.d_min, self.d_max + 1)
+        lanes = np.arange(self.s_vvec)
+        bins = self.ref_bins[None, :] + d[:, None]          # (D, s_vvec)
+        rows = (self.v0 + lanes)[None, :] * self.num_bins + bins
+        valid = (
+            (lanes[None, :] < self.num_valid_views)
+            & (bins >= 0)
+            & (bins < self.num_bins)
+        )
+        out = np.where(valid, rows, -1).astype(np.int32)
+        return out.ravel()
+
+    def inverse_permutation_is_consistent(self) -> bool:
+        """True when valid slots map to distinct global rows (injective)."""
+        m = self.global_map()
+        valid = m[m >= 0]
+        return valid.size == np.unique(valid).size
+
+
+def build_ioblr_mapping(
+    geom: ParallelBeamGeometry,
+    block: MatrixBlock,
+    s_vvec: int,
+    block_bins_lo: np.ndarray | None = None,
+    block_bins_hi: np.ndarray | None = None,
+) -> IOBLRMapping:
+    """Construct the IOBLR mapping of one block.
+
+    ``block_bins_lo/hi`` optionally give the per-lane bin band actually
+    touched by the block's nonzeros (tight ``d`` range); without them, the
+    band is derived from the tile's corner-pixel trajectories.
+    """
+    if block.num_views < 1:
+        raise ValidationError("block has no views")
+    views = np.arange(block.v0, block.v1)
+    ref_i, ref_j = block.reference_pixel
+    r = reference_trajectory(geom, ref_i, ref_j, views)
+    ref_bins = np.empty(s_vvec, dtype=np.int64)
+    ref_bins[: r.size] = r
+    ref_bins[r.size :] = r[-1] if r.size else 0
+
+    if block_bins_lo is None or block_bins_hi is None:
+        # band from the four tile corners (trajectories of interior pixels
+        # lie between the corners' by convexity of the projection)
+        corners = [
+            (block.i0, block.j0),
+            (block.i0, block.j1 - 1),
+            (block.i1 - 1, block.j0),
+            (block.i1 - 1, block.j1 - 1),
+        ]
+        los, his = [], []
+        for ci, cj in corners:
+            lo, hi = pixel_trajectory(geom, ci, cj, views, clip=False)
+            los.append(lo)
+            his.append(hi)
+        block_bins_lo = np.minimum.reduce(los)
+        block_bins_hi = np.maximum.reduce(his)
+
+    d_lo = int((block_bins_lo - r).min())
+    d_hi = int((block_bins_hi - r).max())
+    return IOBLRMapping(
+        ref_bins=ref_bins,
+        d_min=d_lo,
+        d_max=d_hi,
+        s_vvec=s_vvec,
+        num_valid_views=block.num_views,
+        v0=block.v0,
+        num_bins=geom.num_bins,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Fig 4: SIMD efficiency of the three y layouts
+
+def layout_simd_efficiency(
+    geom: ParallelBeamGeometry,
+    block: MatrixBlock,
+    pixel: tuple[int, int],
+    s_vvec: int,
+    layout: str,
+) -> np.ndarray:
+    """Nonzeros per ``s_vvec``-long y segment for a pixel's column.
+
+    ``layout`` is one of ``"bin-major"`` (segments run along bins within a
+    view), ``"view-major"`` (segments run along views within a bin — the
+    BTB layout of [14]) or ``"ioblr"`` (segments run along parallel curves
+    — CSCV).  Returns the nonzero count of every segment the pixel's
+    column intersects; Fig 4 reports the min..max range.
+    """
+    views = np.arange(block.v0, block.v1)
+    lo, hi = pixel_trajectory(geom, *pixel, views, clip=False)
+    nv = views.size
+
+    if layout == "bin-major":
+        counts = []
+        for k in range(nv):
+            # bins of this view grouped into aligned s_vvec segments
+            bins = np.arange(lo[k], hi[k] + 1)
+            segs, c = np.unique(bins // s_vvec, return_counts=True)
+            counts.extend(c.tolist())
+        return np.asarray(counts)
+
+    if layout == "view-major":
+        # segment = same bin across s_vvec consecutive views
+        counts: dict[int, int] = {}
+        for k in range(nv):
+            for b in range(int(lo[k]), int(hi[k]) + 1):
+                counts[b] = counts.get(b, 0) + 1
+        return np.asarray(sorted(counts.values()))
+
+    if layout == "ioblr":
+        ref_i, ref_j = block.reference_pixel
+        r = reference_trajectory(geom, ref_i, ref_j, views)
+        offsets: dict[int, int] = {}
+        for k in range(nv):
+            for b in range(int(lo[k]), int(hi[k]) + 1):
+                d = b - int(r[k])
+                offsets[d] = offsets.get(d, 0) + 1
+        return np.asarray(sorted(offsets.values()))
+
+    raise ValidationError(f"unknown layout {layout!r}")

@@ -1,0 +1,104 @@
+"""CSCV parameter triple and its constraints.
+
+Three parameters shape the format (Section IV / V-D):
+
+``s_vvec``
+    CSCVE length — elements per vector, matched to SIMD width.  Also the
+    number of views per view group (the paper: *"the number of views in
+    the matrix block equals S_VVec"*).  Must fit in the CSCV-M mask word.
+``s_imgb``
+    Image-block edge length in pixels — columns per matrix block is
+    ``s_imgb**2``.
+``s_vxg``
+    CSCVEs concatenated into one VxG (consecutive curve offsets).
+
+The paper's key usability claim is that these do **not** need per-matrix
+tuning — a good triple transfers across CT matrices because the padding
+behaviour is a property of the integral operator.  The autotuner exists to
+demonstrate (not to require) the selection procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+from repro.errors import ValidationError
+
+#: CSCV-M masks are stored in uint32 words.
+MAX_S_VVEC = 32
+
+#: sane upper bounds used by validation (not hard algorithmic limits)
+MAX_S_IMGB = 4096
+MAX_S_VXG = 64
+
+
+@dataclass(frozen=True)
+class CSCVParams:
+    """Validated (s_vvec, s_imgb, s_vxg) triple."""
+
+    s_vvec: int = config.DEFAULT_S_VVEC
+    s_imgb: int = config.DEFAULT_S_IMGB
+    s_vxg: int = config.DEFAULT_S_VXG
+
+    def __post_init__(self):
+        if not (1 <= self.s_vvec <= MAX_S_VVEC):
+            raise ValidationError(f"s_vvec must be in [1, {MAX_S_VVEC}], got {self.s_vvec}")
+        if not (1 <= self.s_imgb <= MAX_S_IMGB):
+            raise ValidationError(f"s_imgb must be in [1, {MAX_S_IMGB}], got {self.s_imgb}")
+        if not (1 <= self.s_vxg <= MAX_S_VXG):
+            raise ValidationError(f"s_vxg must be in [1, {MAX_S_VXG}], got {self.s_vxg}")
+
+    @property
+    def vxg_len(self) -> int:
+        """Values per VxG: ``s_vxg * s_vvec``."""
+        return self.s_vxg * self.s_vvec
+
+    @property
+    def cols_per_block(self) -> int:
+        """Matrix columns per image block: ``s_imgb**2``."""
+        return self.s_imgb * self.s_imgb
+
+    def simd_lanes(self, dtype_itemsize: int, register_bits: int = 512) -> float:
+        """How many hardware SIMD registers one CSCVE spans."""
+        lane_count = register_bits // (8 * dtype_itemsize)
+        return self.s_vvec / lane_count
+
+    def replace(self, **kwargs) -> "CSCVParams":
+        """Functional update returning a new validated triple."""
+        data = {"s_vvec": self.s_vvec, "s_imgb": self.s_imgb, "s_vxg": self.s_vxg}
+        data.update(kwargs)
+        return CSCVParams(**data)
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """(s_vvec, s_imgb, s_vxg)."""
+        return (self.s_vvec, self.s_imgb, self.s_vxg)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSCV(S_VVec={self.s_vvec}, S_ImgB={self.s_imgb}, S_VxG={self.s_vxg})"
+
+
+#: Paper Table III — the parameter combinations selected for the parallel
+#: tests, keyed by (platform, implementation, precision).
+PAPER_TABLE3 = {
+    ("skl", "cscv-z", "single"): CSCVParams(16, 16, 2),
+    ("skl", "cscv-z", "double"): CSCVParams(16, 16, 2),
+    ("skl", "cscv-m", "single"): CSCVParams(8, 32, 4),
+    ("skl", "cscv-m", "double"): CSCVParams(16, 16, 2),
+    ("zen2", "cscv-z", "single"): CSCVParams(8, 64, 4),
+    ("zen2", "cscv-z", "double"): CSCVParams(8, 32, 2),
+    ("zen2", "cscv-m", "single"): CSCVParams(4, 64, 1),
+    ("zen2", "cscv-m", "double"): CSCVParams(8, 16, 1),
+}
+
+#: Paper Table III R_nnzE values for the same keys (for comparison output).
+PAPER_TABLE3_RNNZE = {
+    ("skl", "cscv-z", "single"): 0.417,
+    ("skl", "cscv-z", "double"): 0.417,
+    ("skl", "cscv-m", "single"): 0.365,
+    ("skl", "cscv-m", "double"): 0.417,
+    ("zen2", "cscv-z", "single"): 0.448,
+    ("zen2", "cscv-z", "double"): 0.345,
+    ("zen2", "cscv-m", "single"): 0.257,
+    ("zen2", "cscv-m", "double"): 0.303,
+}

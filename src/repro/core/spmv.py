@@ -1,0 +1,177 @@
+"""SpMV execution drivers for CSCV data.
+
+Three execution paths, all numerically identical:
+
+* **C blocked** — the faithful pipeline: per block, zero a ``ytilde``
+  scratch, stream VxGs as contiguous vector FMAs, scatter-add through the
+  inverse IOBLR map into per-thread private copies of ``y``, reduce
+  (Section IV-E threading scheme) — OpenMP inside the compiled kernel;
+* **NumPy flat** — a fully vectorised fallback: pre-resolved global row
+  per value slot + one ``bincount`` scatter-add;
+* **NumPy threaded** — the flat path split over block ranges across a
+  thread pool with per-thread partial ``y`` and a final reduction,
+  mirroring the paper's private-copy scheme in pure Python.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro import config
+from repro.core.builder import CSCVData
+from repro.kernels import dispatch
+
+
+def resolve_flat_rows_z(data: CSCVData) -> np.ndarray:
+    """Global row id (or -1) of every CSCV-Z value slot.
+
+    Composes VxG placement with the per-block inverse map once, so the
+    NumPy path needs no per-call permutation.
+    """
+    if data.num_vxg == 0:
+        return np.zeros(0, dtype=np.int32)
+    vxg_len = data.params.vxg_len
+    b_of_g = np.repeat(np.arange(data.num_blocks), np.diff(data.blk_vxg_ptr))
+    base = data.blk_map_ptr[b_of_g] + data.vxg_start.astype(np.int64)
+    pos = base[:, None] + np.arange(vxg_len)[None, :]
+    return data.ymap[pos.ravel()]
+
+
+def resolve_flat_rows_m(data: CSCVData) -> np.ndarray:
+    """Global row id of every packed CSCV-M value (always valid)."""
+    if data.nnz == 0:
+        return np.zeros(0, dtype=np.int32)
+    s_vvec = data.params.s_vvec
+    b_of_e = np.repeat(np.arange(data.num_blocks), np.diff(data.blk_e_ptr))
+    base = data.blk_map_ptr[b_of_e] + data.e_start.astype(np.int64)
+    # lane of each packed value from the mask bit order
+    lanes = _mask_lanes(data.masks, s_vvec)
+    pos = np.repeat(base, np.diff(data.voff)) + lanes
+    return data.ymap[pos]
+
+
+def _mask_lanes(masks: np.ndarray, s_vvec: int) -> np.ndarray:
+    """Concatenated set-bit positions of every mask, mask-major order."""
+    if masks.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    bits = (masks[:, None] >> np.arange(s_vvec, dtype=np.uint32)[None, :]) & 1
+    e_idx, lane = np.nonzero(bits)
+    # np.nonzero iterates row-major: already (mask, lane-ascending) order
+    return lane.astype(np.int64)
+
+
+def spmv_z(data: CSCVData, x: np.ndarray, y: np.ndarray, *, threads: int | None = None,
+           flat_rows: np.ndarray | None = None) -> np.ndarray:
+    """CSCV-Z SpMV into *y* (overwritten)."""
+    threads = threads or config.runtime.threads
+    y[:] = 0
+    if data.nnz == 0:
+        return y
+    fn = dispatch.get("cscv_z_spmv", data.dtype)
+    if fn is not None:
+        fn(
+            data.shape[0],
+            data.num_blocks,
+            data.blk_vxg_ptr,
+            data.vxg_col,
+            data.vxg_start,
+            data.values,
+            data.params.vxg_len,
+            data.blk_ysize,
+            data.blk_map_ptr,
+            data.ymap,
+            x,
+            y,
+            data.max_ysize,
+            int(threads),
+        )
+        return y
+    rows = flat_rows if flat_rows is not None else resolve_flat_rows_z(data)
+    if threads <= 1 or data.num_blocks < 2 * threads:
+        _accumulate_z(data, x, y, rows, 0, data.num_blocks)
+        return y
+    return _threaded(data, x, y, rows, threads, _accumulate_z)
+
+
+def _accumulate_z(data, x, y, rows, b0, b1):
+    vxg_len = data.params.vxg_len
+    g0, g1 = int(data.blk_vxg_ptr[b0]), int(data.blk_vxg_ptr[b1])
+    if g0 == g1:
+        return
+    vals = data.values[g0 * vxg_len : g1 * vxg_len].reshape(g1 - g0, vxg_len)
+    contrib = (vals * x[data.vxg_col[g0:g1].astype(np.int64)][:, None]).ravel()
+    r = rows[g0 * vxg_len : g1 * vxg_len]
+    valid = r >= 0
+    y += np.bincount(
+        r[valid], weights=contrib[valid], minlength=data.shape[0]
+    ).astype(data.dtype, copy=False)
+
+
+def spmv_m(data: CSCVData, x: np.ndarray, y: np.ndarray, *, threads: int | None = None,
+           flat_rows: np.ndarray | None = None) -> np.ndarray:
+    """CSCV-M SpMV into *y* (overwritten) — packed values + soft-vexpand."""
+    threads = threads or config.runtime.threads
+    y[:] = 0
+    if data.nnz == 0:
+        return y
+    fn = dispatch.get("cscv_m_spmv", data.dtype)
+    if fn is not None:
+        fn(
+            data.shape[0],
+            data.num_blocks,
+            data.blk_vxg_ptr,
+            data.vxg_col,
+            data.vxg_start,
+            data.vxg_voff,
+            data.vxg_masks,
+            data.packed,
+            data.params.s_vxg,
+            data.params.s_vvec,
+            data.blk_ysize,
+            data.blk_map_ptr,
+            data.ymap,
+            x,
+            y,
+            data.max_ysize,
+            int(threads),
+        )
+        return y
+    rows = flat_rows if flat_rows is not None else resolve_flat_rows_m(data)
+    if threads <= 1 or data.num_blocks < 2 * threads:
+        _accumulate_m(data, x, y, rows, 0, data.num_blocks)
+        return y
+    return _threaded(data, x, y, rows, threads, _accumulate_m)
+
+
+def _accumulate_m(data, x, y, rows, b0, b1):
+    k0, k1 = int(data.voff[data.blk_e_ptr[b0]]), int(data.voff[data.blk_e_ptr[b1]])
+    if k0 == k1:
+        return
+    e0, e1 = int(data.blk_e_ptr[b0]), int(data.blk_e_ptr[b1])
+    counts = np.diff(data.voff[e0 : e1 + 1])
+    xcols = np.repeat(data.e_col[e0:e1].astype(np.int64), counts)
+    contrib = data.packed[k0:k1] * x[xcols]
+    r = rows[k0:k1]
+    y += np.bincount(r, weights=contrib, minlength=data.shape[0]).astype(
+        data.dtype, copy=False
+    )
+
+
+def _threaded(data, x, y, rows, threads, accumulate):
+    """Private-y-per-thread scheme over contiguous block ranges."""
+    from repro.utils.partition import split_evenly
+
+    ranges = [r for r in split_evenly(data.num_blocks, threads) if r[0] < r[1]]
+    partials = [np.zeros_like(y) for _ in ranges]
+
+    def work(idx: int):
+        b0, b1 = ranges[idx]
+        accumulate(data, x, partials[idx], rows, b0, b1)
+
+    with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+        list(pool.map(work, range(len(ranges))))
+    for p in partials:  # deterministic reduction order
+        y += p
+    return y

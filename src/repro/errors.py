@@ -1,0 +1,34 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch a single base class.  More specific subclasses distinguish user input
+problems (:class:`ValidationError`), format conversion problems
+(:class:`FormatError`), geometry construction problems
+(:class:`GeometryError`) and backend/kernel problems (:class:`KernelError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, dtype, range, ...)."""
+
+
+class FormatError(ReproError):
+    """A sparse-matrix format could not be constructed or used."""
+
+
+class GeometryError(ReproError):
+    """A CT geometry is inconsistent or a projector failed to build."""
+
+
+class KernelError(ReproError):
+    """A compute backend (NumPy or compiled C) failed."""
+
+
+class AutotuneError(ReproError):
+    """Parameter autotuning could not find a feasible configuration."""

@@ -1,0 +1,46 @@
+"""CT geometry substrate: parallel-beam geometry, projectors, phantoms.
+
+This package generates the sparse system matrices "arising from integral
+equations" that the paper's CSCV format targets.  The discretised Radon
+transform ``y = A x`` maps an image ``x`` (piecewise-constant pixels) to a
+sinogram ``y`` indexed by ``(view, bin)``.
+
+Three projector discretisations are provided:
+
+* :func:`repro.geometry.projector_pixel.pixel_driven_matrix` — pixel-driven
+  with linear detector interpolation (2 bins per pixel per view),
+* :func:`repro.geometry.projector_strip.strip_area_matrix` — strip-integral
+  (area-weighted; 2-4 bins per pixel per view, the paper's nnz density),
+* :func:`repro.geometry.projector_siddon.siddon_matrix` — ray-driven exact
+  line/pixel intersection lengths (Siddon's algorithm).
+"""
+
+from repro.geometry.attenuated import attenuated_strip_matrix
+from repro.geometry.fan_beam import FanBeamGeometry
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+from repro.geometry.projector_fan import fan_strip_matrix
+from repro.geometry.phantom import shepp_logan, disk_phantom, blocks_phantom
+from repro.geometry.projector_pixel import pixel_driven_matrix
+from repro.geometry.projector_siddon import siddon_matrix
+from repro.geometry.projector_strip import strip_area_matrix
+from repro.geometry.trajectory import (
+    pixel_trajectory,
+    reference_trajectory,
+    trajectory_band,
+)
+
+__all__ = [
+    "ParallelBeamGeometry",
+    "FanBeamGeometry",
+    "fan_strip_matrix",
+    "attenuated_strip_matrix",
+    "shepp_logan",
+    "disk_phantom",
+    "blocks_phantom",
+    "pixel_driven_matrix",
+    "strip_area_matrix",
+    "siddon_matrix",
+    "pixel_trajectory",
+    "reference_trajectory",
+    "trajectory_band",
+]

@@ -1,0 +1,204 @@
+"""Parallel-beam CT acquisition geometry.
+
+The geometry fixes the discretisation of the line-integral operator
+
+.. math:: \\int L(o, q)\\, u(o + t q)\\, dt = f(o, q)
+
+for 2-D parallel-beam CT: views are equally spaced angles
+``theta_v = start_angle + v * delta_angle``; at each view the detector is a
+line of ``num_bins`` equally spaced bins perpendicular to the ray direction.
+A point ``(x, y)`` in the image plane projects to detector coordinate
+``s = x cos(theta) + y sin(theta)``.
+
+Conventions (used consistently across the whole library):
+
+* the image is ``image_size x image_size`` pixels of edge ``pixel_size``,
+  centred at the origin; pixel ``(i, j)`` (row i from the top, column j from
+  the left) has centre ``x = (j - (n-1)/2) * pixel_size``,
+  ``y = ((n-1)/2 - i) * pixel_size``;
+* pixels are flattened row-major: ``pixel = i * n + j``;
+* sinogram rows are **bin-major within view**: ``row = view * num_bins + bin``
+  (the paper's Fig 4 calls this the typical CT layout);
+* detector bin ``b`` covers ``s`` in
+  ``[(b - num_bins/2) * bin_spacing, (b + 1 - num_bins/2) * bin_spacing)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class ParallelBeamGeometry:
+    """Immutable description of a 2-D parallel-beam scan.
+
+    Parameters
+    ----------
+    image_size : int
+        Edge length of the square image in pixels (``n``); the unknown
+        vector ``x`` has ``n*n`` entries.
+    num_bins : int
+        Detector bins per view.
+    num_views : int
+        Number of projection angles.
+    delta_angle_deg : float
+        Angular increment between consecutive views, in degrees.
+    start_angle_deg : float
+        Angle of view 0, in degrees (default 0).
+    pixel_size : float
+        Pixel edge length in physical units (default 1).
+    bin_spacing : float
+        Detector bin pitch in physical units (default 1).
+    """
+
+    image_size: int
+    num_bins: int
+    num_views: int
+    delta_angle_deg: float
+    start_angle_deg: float = 0.0
+    pixel_size: float = 1.0
+    bin_spacing: float = 1.0
+
+    def __post_init__(self):
+        if self.image_size < 1:
+            raise GeometryError("image_size must be >= 1")
+        if self.num_bins < 1:
+            raise GeometryError("num_bins must be >= 1")
+        if self.num_views < 1:
+            raise GeometryError("num_views must be >= 1")
+        if self.pixel_size <= 0 or self.bin_spacing <= 0:
+            raise GeometryError("pixel_size and bin_spacing must be positive")
+        if self.delta_angle_deg <= 0:
+            raise GeometryError("delta_angle_deg must be positive")
+
+    # ------------------------------------------------------------------ #
+    # sizes
+
+    @property
+    def num_pixels(self) -> int:
+        """Length of the image vector ``x``."""
+        return self.image_size * self.image_size
+
+    @property
+    def num_rays(self) -> int:
+        """Length of the sinogram vector ``y`` (= rows of the matrix)."""
+        return self.num_bins * self.num_views
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Matrix shape ``(num_rays, num_pixels)``."""
+        return (self.num_rays, self.num_pixels)
+
+    # ------------------------------------------------------------------ #
+    # angles & coordinates
+
+    def view_angles(self, degrees: bool = False) -> np.ndarray:
+        """Angles of all views (radians by default)."""
+        deg = self.start_angle_deg + self.delta_angle_deg * np.arange(self.num_views)
+        return deg if degrees else np.deg2rad(deg)
+
+    def pixel_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(x, y)`` coordinates of all pixel centres, flattened row-major."""
+        n = self.image_size
+        half = (n - 1) / 2.0
+        j = np.arange(n, dtype=np.float64)
+        i = np.arange(n, dtype=np.float64)
+        x = (j - half) * self.pixel_size          # shape (n,) along columns
+        y = (half - i) * self.pixel_size          # shape (n,) along rows
+        X = np.broadcast_to(x, (n, n)).ravel()
+        Y = np.broadcast_to(y[:, None], (n, n)).ravel()
+        return X.copy(), Y.copy()
+
+    def pixel_center(self, i: int, j: int) -> tuple[float, float]:
+        """Centre of pixel at row *i*, column *j*."""
+        n = self.image_size
+        if not (0 <= i < n and 0 <= j < n):
+            raise GeometryError(f"pixel ({i},{j}) outside image of size {n}")
+        half = (n - 1) / 2.0
+        return ((j - half) * self.pixel_size, (half - i) * self.pixel_size)
+
+    def detector_coordinate(self, x, y, view: int) -> np.ndarray:
+        """Signed detector coordinate of point(s) ``(x, y)`` at *view*."""
+        theta = math.radians(self.start_angle_deg + self.delta_angle_deg * view)
+        return np.asarray(x) * math.cos(theta) + np.asarray(y) * math.sin(theta)
+
+    def s_to_bin(self, s) -> np.ndarray:
+        """Continuous detector coordinate -> (float) fractional bin index.
+
+        Bin ``b`` covers ``[(b - B/2) * ds, (b+1 - B/2) * ds)`` so that the
+        detector is centred on the rotation axis.
+        """
+        return np.asarray(s) / self.bin_spacing + self.num_bins / 2.0
+
+    def bin_lower_edge(self, b) -> np.ndarray:
+        """Physical coordinate of bin *b*'s lower edge."""
+        return (np.asarray(b, dtype=np.float64) - self.num_bins / 2.0) * self.bin_spacing
+
+    # ------------------------------------------------------------------ #
+    # index mapping
+
+    def row_index(self, view, bin_) -> np.ndarray:
+        """Sinogram row id of ``(view, bin)`` — bin-major within view."""
+        return np.asarray(view) * self.num_bins + np.asarray(bin_)
+
+    def row_to_view_bin(self, row) -> tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`row_index`."""
+        r = np.asarray(row)
+        return r // self.num_bins, r % self.num_bins
+
+    def pixel_index(self, i, j) -> np.ndarray:
+        """Flat column id of pixel at row *i*, column *j* (row-major)."""
+        return np.asarray(i) * self.image_size + np.asarray(j)
+
+    # ------------------------------------------------------------------ #
+    # derived helpers
+
+    def min_bins_for_coverage(self) -> int:
+        """Bins needed so every pixel projects inside the detector at every view."""
+        diag = self.image_size * self.pixel_size * math.sqrt(2.0)
+        return int(math.ceil(diag / self.bin_spacing)) + 2
+
+    def covers_image(self) -> bool:
+        """True when the detector spans the image diagonal with margin."""
+        return self.num_bins >= self.min_bins_for_coverage() - 2
+
+    @staticmethod
+    def for_image(
+        image_size: int,
+        num_views: int | None = None,
+        *,
+        angular_span_deg: float = 180.0,
+        start_angle_deg: float = 0.0,
+    ) -> "ParallelBeamGeometry":
+        """Sensible geometry for an ``image_size``² reconstruction.
+
+        Mirrors the paper's Table II proportions: bins cover the image
+        diagonal (e.g. 512 -> 730 bins), views default to ``image_size // 2``
+        spanning 180°.
+        """
+        if num_views is None:
+            num_views = max(1, image_size // 2)
+        num_bins = int(math.ceil(image_size * math.sqrt(2.0))) + 2
+        return ParallelBeamGeometry(
+            image_size=image_size,
+            num_bins=num_bins,
+            num_views=num_views,
+            delta_angle_deg=angular_span_deg / num_views,
+            start_angle_deg=start_angle_deg,
+        )
+
+    def describe(self) -> dict:
+        """Summary dict in the shape of the paper's Table II columns."""
+        return {
+            "reconstructed img size": f"{self.image_size} x {self.image_size}",
+            "num bin": self.num_bins,
+            "num view": self.num_views,
+            "delta angle": f"{self.delta_angle_deg:g} deg",
+            "x size": self.num_pixels,
+            "y size": self.num_rays,
+        }

@@ -1,0 +1,127 @@
+"""Ray-driven projector: exact line/pixel intersection lengths (Siddon).
+
+For every ``(view, bin)`` the central ray of the bin is traced through the
+pixel grid and the exact intersection length with each crossed pixel is
+recorded (Siddon, *Med. Phys.* 1985).  Rows of the resulting matrix are
+built ray by ray, so this projector is the natural generator for
+*row-major* (CSR-friendly) construction, complementing the column-major
+pixel/strip projectors.
+
+This implementation favours clarity over speed (it loops over rays); the
+library uses it for small validation matrices and cross-checking the
+vectorised projectors, exactly the role exact ray tracing plays in CT
+codes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+
+
+def _trace_ray(
+    geom: ParallelBeamGeometry, theta: float, s: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Intersection of the ray ``x cos + y sin = s`` with the pixel grid.
+
+    Returns ``(pixel_ids, lengths)``.  The ray direction is
+    ``(-sin(theta), cos(theta))``; the grid spans
+    ``[-n*ps/2, n*ps/2]`` in both axes.
+    """
+    n = geom.image_size
+    ps = geom.pixel_size
+    half = n * ps / 2.0
+    ct, st = math.cos(theta), math.sin(theta)
+    # Ray origin: closest point to the rotation centre; direction unit.
+    ox, oy = s * ct, s * st
+    dx, dy = -st, ct
+
+    # Parametric entry/exit of the grid bounding box.
+    t_lo, t_hi = -np.inf, np.inf
+    for o, d in ((ox, dx), (oy, dy)):
+        if abs(d) < 1e-15:
+            if not (-half <= o <= half):
+                return np.zeros(0, dtype=np.int64), np.zeros(0)
+        else:
+            t0 = (-half - o) / d
+            t1 = (half - o) / d
+            if t0 > t1:
+                t0, t1 = t1, t0
+            t_lo = max(t_lo, t0)
+            t_hi = min(t_hi, t1)
+    if t_hi <= t_lo:
+        return np.zeros(0, dtype=np.int64), np.zeros(0)
+
+    # Crossing parameters with vertical (x = const) and horizontal grid lines.
+    ts = [t_lo, t_hi]
+    if abs(dx) > 1e-15:
+        k = np.arange(n + 1)
+        tx = ((-half + k * ps) - ox) / dx
+        ts.extend(tx[(tx > t_lo) & (tx < t_hi)].tolist())
+    if abs(dy) > 1e-15:
+        k = np.arange(n + 1)
+        ty = ((-half + k * ps) - oy) / dy
+        ts.extend(ty[(ty > t_lo) & (ty < t_hi)].tolist())
+    t = np.unique(np.asarray(ts, dtype=np.float64))
+    if t.size < 2:
+        return np.zeros(0, dtype=np.int64), np.zeros(0)
+
+    mid = (t[:-1] + t[1:]) / 2.0
+    seg = np.diff(t)
+    mx = ox + mid * dx
+    my = oy + mid * dy
+    j = np.floor((mx + half) / ps).astype(np.int64)
+    i_from_bottom = np.floor((my + half) / ps).astype(np.int64)
+    i = (n - 1) - i_from_bottom  # image rows count from the top
+    keep = (j >= 0) & (j < n) & (i >= 0) & (i < n) & (seg > 1e-12)
+    pix = i[keep] * n + j[keep]
+    lengths = seg[keep]
+    # merge duplicate pixels (possible at exact corner crossings)
+    if pix.size:
+        order = np.argsort(pix, kind="stable")
+        pix = pix[order]
+        lengths = lengths[order]
+        uniq, start = np.unique(pix, return_index=True)
+        sums = np.add.reduceat(lengths, start)
+        return uniq, sums
+    return pix, lengths
+
+
+def siddon_matrix(
+    geom: ParallelBeamGeometry, dtype=np.float64
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full Siddon system matrix as COO triplets ``(rows, cols, vals)``.
+
+    Rays pass through bin centres.  Complexity is O(num_rays * n); intended
+    for validation-scale geometries.
+    """
+    if geom.num_pixels > 1 << 20:
+        raise GeometryError(
+            "siddon_matrix is a validation projector; use strip/pixel "
+            "projectors for images larger than 1024x1024"
+        )
+    angles = geom.view_angles()
+    rows_parts, cols_parts, vals_parts = [], [], []
+    for v in range(geom.num_views):
+        theta = float(angles[v])
+        for b in range(geom.num_bins):
+            s = (b + 0.5 - geom.num_bins / 2.0) * geom.bin_spacing
+            pix, lengths = _trace_ray(geom, theta, s)
+            if pix.size:
+                rows_parts.append(
+                    np.full(pix.size, geom.row_index(v, b), dtype=np.int64)
+                )
+                cols_parts.append(pix)
+                vals_parts.append(lengths)
+    if not rows_parts:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z.copy(), np.zeros(0, dtype=dtype)
+    return (
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        np.concatenate(vals_parts).astype(dtype, copy=False),
+    )

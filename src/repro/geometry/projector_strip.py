@@ -1,0 +1,126 @@
+"""Strip-integral (area-weighted) forward projector.
+
+Each detector bin defines a strip of width ``bin_spacing`` through the
+image; the matrix entry ``A[(v,b), p]`` is the area of the intersection of
+pixel *p* with that strip, divided by ``bin_spacing`` so the entry has the
+dimension of a path length.  This is the discretisation whose nnz density
+(~2.6 per pixel per view at unit pitch) matches the paper's Table II
+matrices.
+
+The pixel's "shadow" on the detector axis at angle ``theta`` is the
+convolution of two box functions of widths ``a = |cos| * ps`` and
+``b = |sin| * ps`` — a trapezoid of total area ``ps**2`` with plateau
+half-width ``|a-b|/2`` and support half-width ``(a+b)/2``.  The exact
+integral of this trapezoid over a bin interval is evaluated through its
+closed-form antiderivative, fully vectorised over pixels.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+
+
+def _trapezoid_cdf(t: np.ndarray, r1: np.ndarray, r2: np.ndarray) -> np.ndarray:
+    """Cumulative integral of the unit-area symmetric trapezoid at *t*.
+
+    The trapezoid has support ``[-r2, r2]`` and plateau ``[-r1, r1]``
+    (``0 <= r1 <= r2``), height ``1 / (r1 + r2)`` so its area is one.
+    Vectorised; ``r1``/``r2`` broadcast against ``t``.
+    """
+    h = 1.0 / (r1 + r2)
+    tc = np.clip(t, -r2, r2)
+    out = np.zeros_like(tc, dtype=np.float64)
+
+    # region 1: rising ramp  [-r2, -r1]
+    ramp_w = np.maximum(r2 - r1, 1e-300)
+    m = tc < -r1
+    out = np.where(m, 0.5 * h / ramp_w * (tc + r2) ** 2, out)
+    # region 2: plateau [-r1, r1]
+    m = (tc >= -r1) & (tc <= r1)
+    ramp_area = 0.5 * h * (r2 - r1)
+    out = np.where(m, ramp_area + h * (tc + r1), out)
+    # region 3: falling ramp [r1, r2]
+    m = tc > r1
+    out = np.where(m, 1.0 - 0.5 * h / ramp_w * (r2 - tc) ** 2, out)
+    # fully past the support
+    out = np.where(t >= r2, 1.0, out)
+    out = np.where(t <= -r2, 0.0, out)
+    return out
+
+
+def strip_area_view(
+    geom: ParallelBeamGeometry, view: int, *, eps: float = 1e-12
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """COO triplets contributed by one view under the strip-area model."""
+    if not (0 <= view < geom.num_views):
+        raise GeometryError(f"view {view} out of range [0, {geom.num_views})")
+    theta = math.radians(geom.start_angle_deg + geom.delta_angle_deg * view)
+    ps, ds = geom.pixel_size, geom.bin_spacing
+    a = abs(math.cos(theta)) * ps
+    b = abs(math.sin(theta)) * ps
+    r1 = abs(a - b) / 2.0
+    r2 = (a + b) / 2.0
+    if r2 == 0.0:  # degenerate (zero-size pixel) cannot happen post-validation
+        raise GeometryError("pixel projects to a point")
+
+    X, Y = geom.pixel_centers()
+    s_center = geom.detector_coordinate(X, Y, view)
+
+    # Bins possibly overlapped: centres fall within [s - r2, s + r2].
+    first_bin = np.floor((s_center - r2) / ds + geom.num_bins / 2.0).astype(np.int64)
+    # max bins any pixel can touch at this angle
+    span = int(math.ceil(2.0 * r2 / ds)) + 1
+
+    cols = np.arange(geom.num_pixels, dtype=np.int64)
+    pixel_area = ps * ps
+
+    rows_parts, cols_parts, vals_parts = [], [], []
+    # CDF evaluated at the lower edge of first_bin, then edge by edge.
+    prev_cdf = _trapezoid_cdf(geom.bin_lower_edge(first_bin) - s_center, r1, r2)
+    for k in range(span):
+        edge_hi = geom.bin_lower_edge(first_bin + k + 1) - s_center
+        cdf_hi = _trapezoid_cdf(edge_hi, r1, r2)
+        frac = cdf_hi - prev_cdf
+        prev_cdf = cdf_hi
+        bins = first_bin + k
+        vals = frac * pixel_area / ds
+        keep = (vals > eps) & (bins >= 0) & (bins < geom.num_bins)
+        if np.any(keep):
+            rows_parts.append(geom.row_index(view, bins[keep]))
+            cols_parts.append(cols[keep])
+            vals_parts.append(vals[keep])
+    if not rows_parts:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z.copy(), np.zeros(0)
+    return (
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        np.concatenate(vals_parts),
+    )
+
+
+def strip_area_matrix(
+    geom: ParallelBeamGeometry, dtype=np.float64
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full strip-area system matrix as COO triplets ``(rows, cols, vals)``."""
+    rows_parts, cols_parts, vals_parts = [], [], []
+    for v in range(geom.num_views):
+        r, c, w = strip_area_view(geom, v)
+        rows_parts.append(r)
+        cols_parts.append(c)
+        vals_parts.append(w)
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    vals = np.concatenate(vals_parts).astype(dtype, copy=False)
+    return rows, cols, vals
+
+
+def footprint_halfwidth(geom: ParallelBeamGeometry, view: int) -> float:
+    """Half-width of a pixel's detector shadow at *view* (physical units)."""
+    theta = math.radians(geom.start_angle_deg + geom.delta_angle_deg * view)
+    return (abs(math.cos(theta)) + abs(math.sin(theta))) * geom.pixel_size / 2.0

@@ -1,0 +1,20 @@
+"""Compute backends for SpMV kernels.
+
+Two backends implement every kernel:
+
+* **numpy** — vectorised NumPy, always available;
+* **c** — plain C loops compiled on first use with ``cc -O3 -march=native
+  -fopenmp`` and loaded through :mod:`ctypes`.
+
+The C kernels deliberately contain **no intrinsics and no assembly** —
+reproducing the paper's portability claim that CSCV's fixed-length
+contiguous inner loops auto-vectorise (AVX-512 ``vfmadd``/``vexpand`` on
+this host) from scalar source.
+
+:mod:`repro.kernels.dispatch` decides per call which backend serves a
+kernel; set ``REPRO_BACKEND=numpy`` to disable the compiled path.
+"""
+
+from repro.kernels import dispatch
+
+__all__ = ["dispatch"]

@@ -1,0 +1,489 @@
+/* SpMV kernels for the CSCV reproduction.
+ *
+ * Style contract (the paper's portability claim, Section IV-E):
+ * every kernel is plain scalar C — no intrinsics, no inline assembly —
+ * written so the compiler's auto-vectoriser turns the fixed-length
+ * contiguous inner loops into wide SIMD (AVX-512 on the build host).
+ * The CSCV inner loops in particular are straight-line FMA streams over
+ * contiguous memory, which is the entire point of the format.
+ *
+ * Index conventions match the Python side: 32-bit element indices,
+ * 64-bit sizes/pointers offsets.
+ *
+ * Built with: cc -O3 -march=native -fopenmp -fPIC -shared
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+/* The single exception to the no-intrinsics rule, taken straight from the
+ * paper (Section IV-E): "On Intel platforms, CSCV-M uses the hardware
+ * vexpand instructions in AVX-512 for vector expansion; on other
+ * platforms, vector expansion is implemented by software code denoted as
+ * soft-vexpand".  We guard the hardware path behind __AVX512F__. */
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#define HAVE_VEXPAND 1
+#endif
+
+#define EXPORT __attribute__((visibility("default")))
+
+/* ------------------------------------------------------------------ */
+/* CSR: y[i] = sum_k vals[k] * x[col[k]], k in row i                    */
+
+#define DEFINE_CSR(SUF, T)                                                  \
+EXPORT void csr_spmv_##SUF(int64_t m, const int32_t *row_ptr,               \
+                           const int32_t *col_idx, const T *vals,           \
+                           const T *x, T *y) {                              \
+    _Pragma("omp parallel for schedule(static)")                            \
+    for (int64_t i = 0; i < m; ++i) {                                       \
+        T acc = (T)0;                                                       \
+        for (int32_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)               \
+            acc += vals[k] * x[col_idx[k]];                                 \
+        y[i] = acc;                                                         \
+    }                                                                       \
+}
+
+DEFINE_CSR(f32, float)
+DEFINE_CSR(f64, double)
+
+/* ------------------------------------------------------------------ */
+/* CSC: paper Algorithm 1 — scatter x_i * vals into y (single thread:   */
+/* the scatter races under naive OpenMP, matching why CSC is hard).     */
+
+#define DEFINE_CSC(SUF, T)                                                  \
+EXPORT void csc_spmv_##SUF(int64_t m, int64_t n, const int32_t *col_ptr,    \
+                           const int32_t *row_idx, const T *vals,           \
+                           const T *x, T *y) {                              \
+    memset(y, 0, (size_t)m * sizeof(T));                                    \
+    for (int64_t i = 0; i < n; ++i) {                                       \
+        const T xi = x[i];                                                  \
+        for (int32_t k = col_ptr[i]; k < col_ptr[i + 1]; ++k)               \
+            y[row_idx[k]] += xi * vals[k];                                  \
+    }                                                                       \
+}
+
+DEFINE_CSC(f32, float)
+DEFINE_CSC(f64, double)
+
+/* ------------------------------------------------------------------ */
+/* ELL: column-major slabs, width w, padded with col=-1                 */
+
+#define DEFINE_ELL(SUF, T)                                                  \
+EXPORT void ell_spmv_##SUF(int64_t m, int64_t width, const int32_t *cols,   \
+                           const T *vals, const T *x, T *y) {               \
+    _Pragma("omp parallel for schedule(static)")                            \
+    for (int64_t i = 0; i < m; ++i) {                                       \
+        T acc = (T)0;                                                       \
+        for (int64_t k = 0; k < width; ++k) {                               \
+            const int64_t idx = k * m + i; /* column-major */               \
+            const int32_t c = cols[idx];                                    \
+            if (c >= 0) acc += vals[idx] * x[c];                            \
+        }                                                                   \
+        y[i] = acc;                                                         \
+    }                                                                       \
+}
+
+DEFINE_ELL(f32, float)
+DEFINE_ELL(f64, double)
+
+/* ------------------------------------------------------------------ */
+/* CSCV-Z block kernel: VxGs of s_vxg CSCVEs, each s_vvec wide.         */
+/* values laid out VxG-contiguous; ytilde access is contiguous, so the  */
+/* inner loop is a pure vector FMA — no gather, no scatter.             */
+
+#define DEFINE_CSCV_Z_BLOCK(SUF, T)                                         \
+static void cscv_z_block_##SUF(int64_t num_vxg, int64_t vxg_len,            \
+                               const int32_t *vxg_col,                      \
+                               const int32_t *vxg_start, const T *values,   \
+                               const T *x, T *ytilde) {                     \
+    for (int64_t g = 0; g < num_vxg; ++g) {                                 \
+        const T xv = x[vxg_col[g]];                                         \
+        const T *v = values + g * vxg_len;                                  \
+        T *yt = ytilde + vxg_start[g];                                      \
+        for (int64_t k = 0; k < vxg_len; ++k)                               \
+            yt[k] += xv * v[k];                                             \
+    }                                                                       \
+}
+
+DEFINE_CSCV_Z_BLOCK(f32, float)
+DEFINE_CSCV_Z_BLOCK(f64, double)
+
+/* ------------------------------------------------------------------ */
+/* CSCV-M block kernel: packed nonzeros + per-CSCVE bitmask.            */
+/* Hardware vexpand (AVX-512) when available, soft-vexpand otherwise.   */
+
+#ifdef HAVE_VEXPAND
+static inline void vexpand_fma_f32(float *yt, const float *pv, uint32_t mask,
+                                   float xv, int64_t s_vvec) {
+    const __m512 xvv = _mm512_set1_ps(xv);
+    for (int64_t k = 0; k < s_vvec; k += 16) {
+        const int chunk = (s_vvec - k) >= 16 ? 16 : (int)(s_vvec - k);
+        const __mmask16 vm =
+            chunk == 16 ? (__mmask16)0xFFFF : (__mmask16)((1u << chunk) - 1u);
+        const __mmask16 em = (__mmask16)((mask >> k) & vm);
+        const __m512 vals = _mm512_maskz_expandloadu_ps(em, pv);
+        __m512 yv = _mm512_maskz_loadu_ps(vm, yt + k);
+        yv = _mm512_fmadd_ps(xvv, vals, yv);
+        _mm512_mask_storeu_ps(yt + k, vm, yv);
+        pv += _mm_popcnt_u32((unsigned)em);
+    }
+}
+
+static inline void vexpand_fma_f64(double *yt, const double *pv, uint32_t mask,
+                                   double xv, int64_t s_vvec) {
+    const __m512d xvv = _mm512_set1_pd(xv);
+    for (int64_t k = 0; k < s_vvec; k += 8) {
+        const int chunk = (s_vvec - k) >= 8 ? 8 : (int)(s_vvec - k);
+        const __mmask8 vm =
+            chunk == 8 ? (__mmask8)0xFF : (__mmask8)((1u << chunk) - 1u);
+        const __mmask8 em = (__mmask8)((mask >> k) & vm);
+        const __m512d vals = _mm512_maskz_expandloadu_pd(em, pv);
+        __m512d yv = _mm512_maskz_loadu_pd(vm, yt + k);
+        yv = _mm512_fmadd_pd(xvv, vals, yv);
+        _mm512_mask_storeu_pd(yt + k, vm, yv);
+        pv += _mm_popcnt_u32((unsigned)em);
+    }
+}
+#endif
+
+/* One (column, start, voff) triple per VxG; s_vxg masks per VxG with
+ * empty CSCVE slots holding mask 0 — the VxG-level index compression the
+ * paper credits for the 0.25x index volume. */
+#define DEFINE_CSCV_M_BLOCK(SUF, T)                                         \
+static void cscv_m_block_##SUF(int64_t num_vxg, int64_t s_vxg,              \
+                               int64_t s_vvec, const int32_t *vxg_col,      \
+                               const int32_t *vxg_start,                    \
+                               const int64_t *vxg_voff,                     \
+                               const uint32_t *vxg_masks, const T *packed,  \
+                               const T *x, T *ytilde) {                     \
+    for (int64_t g = 0; g < num_vxg; ++g) {                                 \
+        const T xv = x[vxg_col[g]];                                         \
+        const T *pv = packed + vxg_voff[g];                                 \
+        T *yt0 = ytilde + vxg_start[g];                                     \
+        const uint32_t *gm = vxg_masks + g * s_vxg;                         \
+        for (int64_t e = 0; e < s_vxg; ++e) {                               \
+            const uint32_t mask = gm[e];                                    \
+            if (!mask) continue;                                            \
+            T *yt = yt0 + e * s_vvec;                                       \
+            CSCV_M_EXPAND_##SUF                                             \
+            pv += POPCOUNT32(mask);                                         \
+        }                                                                   \
+    }                                                                       \
+}
+
+#ifdef __GNUC__
+#define POPCOUNT32(x) __builtin_popcount((unsigned)(x))
+#else
+static inline int popcount32_sw(uint32_t v) {
+    int c = 0;
+    while (v) { v &= v - 1; ++c; }
+    return c;
+}
+#define POPCOUNT32(x) popcount32_sw(x)
+#endif
+
+#ifdef HAVE_VEXPAND
+#define CSCV_M_EXPAND_f32 vexpand_fma_f32(yt, pv, mask, xv, s_vvec);
+#define CSCV_M_EXPAND_f64 vexpand_fma_f64(yt, pv, mask, xv, s_vvec);
+#else
+/* soft-vexpand: scalar expansion of packed values against the mask */
+#define CSCV_M_SOFT_EXPAND                                                  \
+        int64_t p = 0;                                                      \
+        for (int64_t k = 0; k < s_vvec; ++k) {                              \
+            if (mask & (1u << k)) {                                         \
+                yt[k] += xv * pv[p];                                        \
+                ++p;                                                        \
+            }                                                               \
+        }
+#define CSCV_M_EXPAND_f32 CSCV_M_SOFT_EXPAND
+#define CSCV_M_EXPAND_f64 CSCV_M_SOFT_EXPAND
+#endif
+
+DEFINE_CSCV_M_BLOCK(f32, float)
+DEFINE_CSCV_M_BLOCK(f64, double)
+
+/* ------------------------------------------------------------------ */
+/* Full CSCV drivers: loop blocks (OpenMP), private y copies, reduce.   */
+/*                                                                      */
+/* Layouts (built by repro.core.builder):                               */
+/*   blk_vxg_ptr[num_blocks+1] : VxG ranges per block                   */
+/*   vxg_col[g]   : global x index of the VxG's column                  */
+/*   vxg_start[g] : offset into the block's ytilde scratch              */
+/*   blk_ysize[b] : ytilde length of block b                            */
+/*   blk_map_ptr[num_blocks+1], map[] : ytilde pos -> global y (or -1)  */
+/* y must hold m zeros on entry.                                        */
+
+#define DEFINE_CSCV_Z_FULL(SUF, T)                                          \
+static void cscv_z_seq_##SUF(                                               \
+        int64_t num_blocks, const int64_t *blk_vxg_ptr,                     \
+        const int32_t *vxg_col, const int32_t *vxg_start, const T *values,  \
+        int64_t vxg_len, const int64_t *blk_ysize,                          \
+        const int64_t *blk_map_ptr, const int32_t *map, const T *x, T *y,   \
+        T *ytilde) {                                                        \
+    for (int64_t b = 0; b < num_blocks; ++b) {                              \
+        const int64_t ysz = blk_ysize[b];                                   \
+        memset(ytilde, 0, (size_t)ysz * sizeof(T));                         \
+        const int64_t g0 = blk_vxg_ptr[b], g1 = blk_vxg_ptr[b + 1];         \
+        cscv_z_block_##SUF(g1 - g0, vxg_len, vxg_col + g0,                  \
+                           vxg_start + g0, values + g0 * vxg_len, x,        \
+                           ytilde);                                         \
+        const int32_t *bmap = map + blk_map_ptr[b];                         \
+        for (int64_t p = 0; p < ysz; ++p) {                                 \
+            const int32_t t = bmap[p];                                      \
+            if (t >= 0) y[t] += ytilde[p];                                  \
+        }                                                                   \
+    }                                                                       \
+}                                                                           \
+EXPORT void cscv_z_spmv_##SUF(                                              \
+        int64_t m, int64_t num_blocks, const int64_t *blk_vxg_ptr,          \
+        const int32_t *vxg_col, const int32_t *vxg_start, const T *values,  \
+        int64_t vxg_len, const int64_t *blk_ysize,                          \
+        const int64_t *blk_map_ptr, const int32_t *map, const T *x, T *y,   \
+        int64_t max_ysize, int nthreads) {                                  \
+    if (nthreads <= 1) { /* no private copies, no reduction */              \
+        T *ytilde = (T *)malloc((size_t)max_ysize * sizeof(T));             \
+        cscv_z_seq_##SUF(num_blocks, blk_vxg_ptr, vxg_col, vxg_start,       \
+                         values, vxg_len, blk_ysize, blk_map_ptr, map, x,   \
+                         y, ytilde);                                        \
+        free(ytilde);                                                       \
+        return;                                                             \
+    }                                                                       \
+    _Pragma("omp parallel num_threads(nthreads)")                           \
+    {                                                                       \
+        T *ytilde = (T *)malloc((size_t)max_ysize * sizeof(T));             \
+        T *ylocal = (T *)calloc((size_t)m, sizeof(T));                      \
+        _Pragma("omp for schedule(dynamic, 1)")                             \
+        for (int64_t b = 0; b < num_blocks; ++b) {                          \
+            const int64_t ysz = blk_ysize[b];                               \
+            memset(ytilde, 0, (size_t)ysz * sizeof(T));                     \
+            const int64_t g0 = blk_vxg_ptr[b], g1 = blk_vxg_ptr[b + 1];     \
+            cscv_z_block_##SUF(g1 - g0, vxg_len, vxg_col + g0,              \
+                               vxg_start + g0, values + g0 * vxg_len, x,    \
+                               ytilde);                                     \
+            const int32_t *bmap = map + blk_map_ptr[b];                     \
+            for (int64_t p = 0; p < ysz; ++p) {                             \
+                const int32_t t = bmap[p];                                  \
+                if (t >= 0) ylocal[t] += ytilde[p];                         \
+            }                                                               \
+        }                                                                   \
+        _Pragma("omp critical")                                             \
+        for (int64_t i = 0; i < m; ++i) y[i] += ylocal[i];                  \
+        free(ytilde);                                                       \
+        free(ylocal);                                                       \
+    }                                                                       \
+}
+
+DEFINE_CSCV_Z_FULL(f32, float)
+DEFINE_CSCV_Z_FULL(f64, double)
+
+#define DEFINE_CSCV_M_FULL(SUF, T)                                          \
+EXPORT void cscv_m_spmv_##SUF(                                              \
+        int64_t m, int64_t num_blocks, const int64_t *blk_vxg_ptr,          \
+        const int32_t *vxg_col, const int32_t *vxg_start,                   \
+        const int64_t *vxg_voff, const uint32_t *vxg_masks,                 \
+        const T *packed, int64_t s_vxg, int64_t s_vvec,                     \
+        const int64_t *blk_ysize, const int64_t *blk_map_ptr,               \
+        const int32_t *map, const T *x, T *y, int64_t max_ysize,            \
+        int nthreads) {                                                     \
+    if (nthreads <= 1) { /* no private copies, no reduction */              \
+        T *ytilde = (T *)malloc((size_t)max_ysize * sizeof(T));             \
+        for (int64_t b = 0; b < num_blocks; ++b) {                          \
+            const int64_t ysz = blk_ysize[b];                               \
+            memset(ytilde, 0, (size_t)ysz * sizeof(T));                     \
+            const int64_t g0 = blk_vxg_ptr[b], g1 = blk_vxg_ptr[b + 1];     \
+            cscv_m_block_##SUF(g1 - g0, s_vxg, s_vvec, vxg_col + g0,        \
+                               vxg_start + g0, vxg_voff + g0,               \
+                               vxg_masks + g0 * s_vxg, packed, x, ytilde);  \
+            const int32_t *bmap = map + blk_map_ptr[b];                     \
+            for (int64_t p = 0; p < ysz; ++p) {                             \
+                const int32_t t = bmap[p];                                  \
+                if (t >= 0) y[t] += ytilde[p];                              \
+            }                                                               \
+        }                                                                   \
+        free(ytilde);                                                       \
+        return;                                                             \
+    }                                                                       \
+    _Pragma("omp parallel num_threads(nthreads)")                           \
+    {                                                                       \
+        T *ytilde = (T *)malloc((size_t)max_ysize * sizeof(T));             \
+        T *ylocal = (T *)calloc((size_t)m, sizeof(T));                      \
+        _Pragma("omp for schedule(dynamic, 1)")                             \
+        for (int64_t b = 0; b < num_blocks; ++b) {                          \
+            const int64_t ysz = blk_ysize[b];                               \
+            memset(ytilde, 0, (size_t)ysz * sizeof(T));                     \
+            const int64_t g0 = blk_vxg_ptr[b], g1 = blk_vxg_ptr[b + 1];     \
+            cscv_m_block_##SUF(g1 - g0, s_vxg, s_vvec, vxg_col + g0,        \
+                               vxg_start + g0, vxg_voff + g0,               \
+                               vxg_masks + g0 * s_vxg, packed, x, ytilde);  \
+            const int32_t *bmap = map + blk_map_ptr[b];                     \
+            for (int64_t p = 0; p < ysz; ++p) {                             \
+                const int32_t t = bmap[p];                                  \
+                if (t >= 0) ylocal[t] += ytilde[p];                         \
+            }                                                               \
+        }                                                                   \
+        _Pragma("omp critical")                                             \
+        for (int64_t i = 0; i < m; ++i) y[i] += ylocal[i];                  \
+        free(ytilde);                                                       \
+        free(ylocal);                                                       \
+    }                                                                       \
+}
+
+DEFINE_CSCV_M_FULL(f32, float)
+DEFINE_CSCV_M_FULL(f64, double)
+
+/* ------------------------------------------------------------------ */
+/* SPC5-style beta(1,c) row-block kernel: per block one row id, a       */
+/* bitmask over c consecutive columns, packed values (no padding).      */
+
+#ifdef HAVE_VEXPAND
+static inline float spc5_dot_f32(const float *pv, const float *xp,
+                                 uint32_t mask, int64_t width) {
+    __m512 acc = _mm512_setzero_ps();
+    for (int64_t k = 0; k < width; k += 16) {
+        const int chunk = (width - k) >= 16 ? 16 : (int)(width - k);
+        const __mmask16 vm =
+            chunk == 16 ? (__mmask16)0xFFFF : (__mmask16)((1u << chunk) - 1u);
+        const __mmask16 em = (__mmask16)((mask >> k) & vm);
+        const __m512 vals = _mm512_maskz_expandloadu_ps(em, pv);
+        const __m512 xv = _mm512_maskz_loadu_ps(em, xp + k);
+        acc = _mm512_fmadd_ps(vals, xv, acc);
+        pv += _mm_popcnt_u32((unsigned)em);
+    }
+    return _mm512_reduce_add_ps(acc);
+}
+
+static inline double spc5_dot_f64(const double *pv, const double *xp,
+                                  uint32_t mask, int64_t width) {
+    __m512d acc = _mm512_setzero_pd();
+    for (int64_t k = 0; k < width; k += 8) {
+        const int chunk = (width - k) >= 8 ? 8 : (int)(width - k);
+        const __mmask8 vm =
+            chunk == 8 ? (__mmask8)0xFF : (__mmask8)((1u << chunk) - 1u);
+        const __mmask8 em = (__mmask8)((mask >> k) & vm);
+        const __m512d vals = _mm512_maskz_expandloadu_pd(em, pv);
+        const __m512d xv = _mm512_maskz_loadu_pd(em, xp + k);
+        acc = _mm512_fmadd_pd(vals, xv, acc);
+        pv += _mm_popcnt_u32((unsigned)em);
+    }
+    return _mm512_reduce_add_pd(acc);
+}
+#else
+#define DEFINE_SPC5_DOT(SUF, T)                                             \
+static inline T spc5_dot_##SUF(const T *pv, const T *xp, uint32_t mask,     \
+                               int64_t width) {                             \
+    T acc = (T)0;                                                           \
+    int64_t p = 0;                                                          \
+    for (int64_t k = 0; k < width; ++k) {                                   \
+        if (mask & (1u << k)) {                                             \
+            acc += pv[p] * xp[k];                                           \
+            ++p;                                                            \
+        }                                                                   \
+    }                                                                       \
+    return acc;                                                             \
+}
+DEFINE_SPC5_DOT(f32, float)
+DEFINE_SPC5_DOT(f64, double)
+#endif
+
+#define DEFINE_SPC5(SUF, T)                                                 \
+EXPORT void spc5_spmv_##SUF(int64_t num_blocks, const int32_t *blk_row,     \
+                            const int32_t *blk_col, const uint32_t *masks,  \
+                            const int64_t *voff, const T *packed,           \
+                            int64_t blk_width, const T *x, T *y,            \
+                            int64_t m) {                                    \
+    memset(y, 0, (size_t)m * sizeof(T));                                    \
+    for (int64_t b = 0; b < num_blocks; ++b) {                              \
+        y[blk_row[b]] += spc5_dot_##SUF(packed + voff[b], x + blk_col[b],   \
+                                        masks[b], blk_width);               \
+    }                                                                       \
+}
+
+DEFINE_SPC5(f32, float)
+DEFINE_SPC5(f64, double)
+
+
+/* ------------------------------------------------------------------ */
+/* CSCV-Z transpose SpMV: x = A^T y (CT back-projection).               */
+/* Per block: gather ytilde through the map (the forward reorder run    */
+/* in reverse), then one contiguous dot product per VxG.  Columns repeat*/
+/* across view-group blocks, so threads use private x copies + reduce.  */
+
+#define DEFINE_CSCV_Z_TSPMV(SUF, T)                                         \
+EXPORT void cscv_z_tspmv_##SUF(                                             \
+        int64_t n, int64_t num_blocks, const int64_t *blk_vxg_ptr,          \
+        const int32_t *vxg_col, const int32_t *vxg_start, const T *values,  \
+        int64_t vxg_len, const int64_t *blk_ysize,                          \
+        const int64_t *blk_map_ptr, const int32_t *map, const T *y, T *x,   \
+        int64_t max_ysize, int nthreads) {                                  \
+    if (nthreads <= 1) {                                                    \
+        T *ytilde = (T *)malloc((size_t)max_ysize * sizeof(T));             \
+        for (int64_t b = 0; b < num_blocks; ++b) {                          \
+            const int64_t ysz = blk_ysize[b];                               \
+            const int32_t *bmap = map + blk_map_ptr[b];                     \
+            for (int64_t p = 0; p < ysz; ++p) {                             \
+                const int32_t t = bmap[p];                                  \
+                ytilde[p] = (t >= 0) ? y[t] : (T)0;                         \
+            }                                                               \
+            const int64_t g0 = blk_vxg_ptr[b], g1 = blk_vxg_ptr[b + 1];     \
+            for (int64_t g = g0; g < g1; ++g) {                             \
+                const T *v = values + g * vxg_len;                          \
+                const T *yt = ytilde + vxg_start[g];                        \
+                T acc = (T)0;                                               \
+                for (int64_t k = 0; k < vxg_len; ++k)                       \
+                    acc += v[k] * yt[k];                                    \
+                x[vxg_col[g]] += acc;                                       \
+            }                                                               \
+        }                                                                   \
+        free(ytilde);                                                       \
+        return;                                                             \
+    }                                                                       \
+    _Pragma("omp parallel num_threads(nthreads)")                           \
+    {                                                                       \
+        T *ytilde = (T *)malloc((size_t)max_ysize * sizeof(T));             \
+        T *xlocal = (T *)calloc((size_t)n, sizeof(T));                      \
+        _Pragma("omp for schedule(dynamic, 1)")                             \
+        for (int64_t b = 0; b < num_blocks; ++b) {                          \
+            const int64_t ysz = blk_ysize[b];                               \
+            const int32_t *bmap = map + blk_map_ptr[b];                     \
+            for (int64_t p = 0; p < ysz; ++p) {                             \
+                const int32_t t = bmap[p];                                  \
+                ytilde[p] = (t >= 0) ? y[t] : (T)0;                         \
+            }                                                               \
+            const int64_t g0 = blk_vxg_ptr[b], g1 = blk_vxg_ptr[b + 1];     \
+            for (int64_t g = g0; g < g1; ++g) {                             \
+                const T *v = values + g * vxg_len;                          \
+                const T *yt = ytilde + vxg_start[g];                        \
+                T acc = (T)0;                                               \
+                for (int64_t k = 0; k < vxg_len; ++k)                       \
+                    acc += v[k] * yt[k];                                    \
+                xlocal[vxg_col[g]] += acc;                                  \
+            }                                                               \
+        }                                                                   \
+        _Pragma("omp critical")                                             \
+        for (int64_t i = 0; i < n; ++i) x[i] += xlocal[i];                  \
+        free(ytilde);                                                       \
+        free(xlocal);                                                       \
+    }                                                                       \
+}
+
+DEFINE_CSCV_Z_TSPMV(f32, float)
+DEFINE_CSCV_Z_TSPMV(f64, double)
+
+/* ------------------------------------------------------------------ */
+/* Utility: threads actually used by OpenMP (for diagnostics).          */
+
+EXPORT int kernels_omp_max_threads(void) {
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+EXPORT int kernels_abi_version(void) { return 3; }

@@ -1,0 +1,156 @@
+"""ctypes bindings for the compiled kernel library.
+
+Each binding wraps one C symbol per floating dtype with argument-type
+checking via :func:`numpy.ctypeslib.ndpointer`.  Wrappers accept NumPy
+arrays directly; callers guarantee contiguity and dtype (the sparse-format
+classes construct their arrays that way).
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+from numpy.ctypeslib import ndpointer
+
+from repro.errors import KernelError
+from repro.kernels.cbuild import library_path
+
+_i32 = ndpointer(np.int32, flags="C_CONTIGUOUS")
+_i64 = ndpointer(np.int64, flags="C_CONTIGUOUS")
+_u32 = ndpointer(np.uint32, flags="C_CONTIGUOUS")
+_c_i64 = ctypes.c_int64
+_c_int = ctypes.c_int
+
+
+def _f(dtype) -> object:
+    return ndpointer(dtype, flags="C_CONTIGUOUS")
+
+
+_SUFFIX = {np.dtype(np.float32): "f32", np.dtype(np.float64): "f64"}
+
+
+def _signatures(dtype) -> dict[str, list]:
+    fp = _f(dtype)
+    return {
+        "csr_spmv": [_c_i64, _i32, _i32, fp, fp, fp],
+        "csc_spmv": [_c_i64, _c_i64, _i32, _i32, fp, fp, fp],
+        "ell_spmv": [_c_i64, _c_i64, _i32, fp, fp, fp],
+        "cscv_z_spmv": [
+            _c_i64,  # m
+            _c_i64,  # num_blocks
+            _i64,    # blk_vxg_ptr
+            _i32,    # vxg_col
+            _i32,    # vxg_start
+            fp,      # values
+            _c_i64,  # vxg_len
+            _i64,    # blk_ysize
+            _i64,    # blk_map_ptr
+            _i32,    # map
+            fp,      # x
+            fp,      # y
+            _c_i64,  # max_ysize
+            _c_int,  # nthreads
+        ],
+        "cscv_m_spmv": [
+            _c_i64,  # m
+            _c_i64,  # num_blocks
+            _i64,    # blk_vxg_ptr
+            _i32,    # vxg_col
+            _i32,    # vxg_start
+            _i64,    # vxg_voff
+            _u32,    # vxg_masks
+            fp,      # packed
+            _c_i64,  # s_vxg
+            _c_i64,  # s_vvec
+            _i64,    # blk_ysize
+            _i64,    # blk_map_ptr
+            _i32,    # map
+            fp,      # x
+            fp,      # y
+            _c_i64,  # max_ysize
+            _c_int,  # nthreads
+        ],
+        "spc5_spmv": [_c_i64, _i32, _i32, _u32, _i64, fp, _c_i64, fp, fp, _c_i64],
+        "cscv_z_tspmv": [
+            _c_i64,  # n
+            _c_i64,  # num_blocks
+            _i64,    # blk_vxg_ptr
+            _i32,    # vxg_col
+            _i32,    # vxg_start
+            fp,      # values
+            _c_i64,  # vxg_len
+            _i64,    # blk_ysize
+            _i64,    # blk_map_ptr
+            _i32,    # map
+            fp,      # y
+            fp,      # x (output)
+            _c_i64,  # max_ysize
+            _c_int,  # nthreads
+        ],
+    }
+
+
+class KernelLibrary:
+    """Loaded shared library with typed kernel callables."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lib = ctypes.CDLL(path)
+        self._fns: dict[tuple[str, np.dtype], object] = {}
+        abi = self._lib.kernels_abi_version
+        abi.restype = ctypes.c_int
+        self.abi_version = int(abi())
+        omp = self._lib.kernels_omp_max_threads
+        omp.restype = ctypes.c_int
+        self.omp_max_threads = int(omp())
+
+    def get(self, name: str, dtype) -> object:
+        """Typed callable for kernel *name* at *dtype*."""
+        dt = np.dtype(dtype)
+        key = (name, dt)
+        fn = self._fns.get(key)
+        if fn is None:
+            suffix = _SUFFIX.get(dt)
+            if suffix is None:
+                raise KernelError(f"no C kernels for dtype {dt}")
+            sigs = _signatures(dt)
+            if name not in sigs:
+                raise KernelError(f"unknown kernel {name!r}")
+            try:
+                fn = getattr(self._lib, f"{name}_{suffix}")
+            except AttributeError as exc:  # pragma: no cover - stale .so
+                raise KernelError(f"symbol {name}_{suffix} missing") from exc
+            fn.restype = None
+            fn.argtypes = sigs[name]
+            self._fns[key] = fn
+        return fn
+
+
+_library: KernelLibrary | None = None
+_load_failed = False
+
+
+def load_library() -> KernelLibrary | None:
+    """Build-and-load the kernel library once per process (or None)."""
+    global _library, _load_failed
+    if _load_failed:
+        return None
+    if _library is None:
+        path = library_path()
+        if path is None:
+            _load_failed = True
+            return None
+        try:
+            _library = KernelLibrary(path)
+        except (OSError, KernelError):  # pragma: no cover - load failure
+            _load_failed = True
+            return None
+    return _library
+
+
+def reset_load_state() -> None:
+    """Forget the loaded library (test hook)."""
+    global _library, _load_failed
+    _library = None
+    _load_failed = False

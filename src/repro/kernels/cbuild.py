@@ -1,0 +1,119 @@
+"""Build machinery for the compiled kernel library.
+
+Compiles ``c_src/kernels.c`` into a shared object on first use, caching by
+a hash of (source, flags, compiler version) under
+``~/.cache/repro-kernels``.  Mirrors the paper's build: ``-O3`` plus the
+host-ISA flag (``-march=native``, their ``-xHost`` equivalent) so the
+compiler auto-vectorises the scalar loops.
+
+Build failures are remembered for the process and reported once; callers
+then fall back to the NumPy backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+import warnings
+from pathlib import Path
+
+from repro import config
+from repro.errors import KernelError
+
+_SRC = Path(__file__).parent / "c_src" / "kernels.c"
+
+#: Flag sets tried in order; the first that compiles wins.
+_FLAG_SETS = [
+    ["-O3", "-march=native", "-fopenmp", "-fPIC", "-shared", "-std=c11"],
+    ["-O3", "-march=native", "-fPIC", "-shared", "-std=c11"],
+    ["-O3", "-fPIC", "-shared", "-std=c11"],
+]
+
+
+def _compilers() -> list[str]:
+    env = os.environ.get("REPRO_CC")
+    if env:
+        return [env]
+    return ["cc", "gcc", "clang"]
+
+
+def _cache_key(cc: str, flags: list[str], source: bytes) -> str:
+    h = hashlib.sha256()
+    h.update(source)
+    h.update(" ".join(flags).encode())
+    h.update(cc.encode())
+    h.update(sys.platform.encode())
+    return h.hexdigest()[:16]
+
+
+def build_library(verbose: bool = False) -> str:
+    """Compile the kernel library if needed; return the .so path.
+
+    Raises
+    ------
+    KernelError
+        When no compiler/flag combination produces a loadable library.
+    """
+    if not _SRC.exists():  # pragma: no cover - packaging error
+        raise KernelError(f"kernel source missing: {_SRC}")
+    source = _SRC.read_bytes()
+    cache = Path(config.cache_dir())
+    cache.mkdir(parents=True, exist_ok=True)
+
+    errors: list[str] = []
+    for cc in _compilers():
+        for flags in _FLAG_SETS:
+            key = _cache_key(cc, flags, source)
+            out = cache / f"libreprokernels-{key}.so"
+            if out.exists():
+                return str(out)
+            cmd = [cc, *flags, str(_SRC), "-o", str(out) + ".tmp"]
+            try:
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True, timeout=120
+                )
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                errors.append(f"{cc} {' '.join(flags)}: {exc}")
+                continue
+            if proc.returncode == 0:
+                os.replace(out.with_name(out.name + ".tmp"), out)
+                if verbose:  # pragma: no cover - diagnostics
+                    print(f"[repro.kernels] built {out} with {cc} {' '.join(flags)}")
+                return str(out)
+            errors.append(f"{cc} {' '.join(flags)}: {proc.stderr.strip()[:500]}")
+    raise KernelError(
+        "could not compile kernel library; attempts:\n" + "\n".join(errors)
+    )
+
+
+_build_result: str | None = None
+_build_failed = False
+
+
+def library_path() -> str | None:
+    """Cached :func:`build_library`; returns None after a failed build."""
+    global _build_result, _build_failed
+    if _build_failed:
+        return None
+    if _build_result is None:
+        try:
+            _build_result = build_library()
+        except KernelError as exc:
+            _build_failed = True
+            warnings.warn(
+                f"repro C kernels unavailable, using NumPy backend: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+    return _build_result
+
+
+def reset_cache_state() -> None:
+    """Forget build success/failure (test hook)."""
+    global _build_result, _build_failed
+    _build_result = None
+    _build_failed = False

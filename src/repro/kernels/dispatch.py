@@ -1,0 +1,51 @@
+"""Backend dispatch: pick the C kernel or fall back to NumPy.
+
+``get(name, dtype)`` is the single entry point the sparse formats call.
+It returns a typed C callable, or ``None`` when the caller should run its
+NumPy path — because the user forced ``REPRO_BACKEND=numpy``, the compile
+failed, or the dtype has no compiled variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import config
+
+
+def get(name: str, dtype) -> object | None:
+    """C kernel callable for *name*/*dtype*, or ``None`` for NumPy fallback."""
+    if config.runtime.backend == "numpy":
+        return None
+    from repro.kernels.cbindings import load_library
+
+    lib = load_library()
+    if lib is None:
+        if config.runtime.backend == "c":
+            from repro.errors import KernelError
+
+            raise KernelError(
+                "REPRO_BACKEND=c requested but the kernel library is unavailable"
+            )
+        return None
+    try:
+        return lib.get(name, dtype)
+    except Exception:
+        if config.runtime.backend == "c":
+            raise
+        return None
+
+
+def backend_in_use(dtype=np.float64) -> str:
+    """``"c"`` when compiled kernels will serve SpMV calls, else ``"numpy"``."""
+    return "c" if get("csr_spmv", dtype) is not None else "numpy"
+
+
+def omp_threads() -> int:
+    """Max OpenMP threads the compiled library reports (1 without it)."""
+    if config.runtime.backend == "numpy":
+        return 1
+    from repro.kernels.cbindings import load_library
+
+    lib = load_library()
+    return lib.omp_max_threads if lib is not None else 1

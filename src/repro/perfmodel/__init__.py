@@ -1,0 +1,34 @@
+"""Analytic SpMV performance model.
+
+This container has one CPU core, so the paper's thread-scaling and
+cross-platform results (Figs 9-11, Table IV) cannot be *measured* here.
+They can, however, be *modelled*: the paper itself explains every ranking
+through two quantities —
+
+* ``M_Rit`` — bytes that must stream from memory per iteration (computed
+  exactly from each format's layout, :mod:`repro.sparse.stats`), and
+* inner-loop instruction cost (gathers, scatters, mask expansions, FMA
+  width — counted per format in :mod:`repro.perfmodel.instructions`).
+
+:mod:`repro.perfmodel.roofline` combines them under a machine description
+(:mod:`repro.perfmodel.platform` ships the paper's SKL and Zen2 systems)
+into predicted GFLOP/s per thread count: a latency/throughput bound that
+scales with cores, capped by the bandwidth roof ``M_PBw / M_Rit``.
+This reproduces who-wins/where-crossovers-fall, which is the level the
+reproduction targets (absolute numbers belong to the authors' testbed).
+"""
+
+from repro.perfmodel.instructions import InstructionProfile, instruction_profile
+from repro.perfmodel.platform import HOST, SKL, ZEN2, Machine
+from repro.perfmodel.roofline import predict_gflops, scalability_curve
+
+__all__ = [
+    "Machine",
+    "SKL",
+    "ZEN2",
+    "HOST",
+    "InstructionProfile",
+    "instruction_profile",
+    "predict_gflops",
+    "scalability_curve",
+]

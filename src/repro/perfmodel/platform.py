@@ -1,0 +1,118 @@
+"""Machine descriptions for the performance model.
+
+``SKL`` and ``ZEN2`` encode the paper's two evaluation systems
+(Section V-A); ``HOST`` describes this container for sanity-checking the
+model against measured single-thread numbers.
+
+The per-core figures are standard microarchitectural values: one FMA unit
+pair per core, SIMD width from the ISA, a sustained per-core load
+bandwidth well above its share of the socket bandwidth (so few threads
+are never bandwidth-bound — matching the paper's observation that SpMV is
+latency-bound at low thread counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Parameters the roofline/latency model needs."""
+
+    name: str
+    #: physical cores (across both sockets)
+    cores: int
+    #: hardware threads usable (paper runs up to this many OpenMP threads)
+    max_threads: int
+    #: SIMD register width in bits
+    simd_bits: int
+    #: sustained clock in GHz under all-core vector load
+    ghz: float
+    #: peak read-only memory bandwidth, GB/s (paper: Intel MLC)
+    peak_bw_gbs: float
+    #: per-core sustained streaming bandwidth, GB/s
+    core_bw_gbs: float
+    #: FMA issue ports per core
+    fma_ports: int = 2
+    #: relative cost (cycles) of a gather/scatter element vs a vector lane
+    gather_cost: float = 2.0
+    #: cycles of overhead per mask-expansion vector op (vexpand = cheap,
+    #: soft-vexpand = expensive); set per platform
+    expand_cost: float = 1.0
+
+    def __post_init__(self):
+        if self.cores < 1 or self.max_threads < self.cores:
+            raise ValidationError("cores >= 1 and max_threads >= cores required")
+        if min(self.simd_bits, self.ghz, self.peak_bw_gbs, self.core_bw_gbs) <= 0:
+            raise ValidationError("machine rates must be positive")
+
+    def simd_lanes(self, itemsize: int) -> int:
+        """Vector lanes for elements of *itemsize* bytes."""
+        return max(self.simd_bits // (8 * itemsize), 1)
+
+    def flops_peak(self, threads: int, itemsize: int) -> float:
+        """Peak FMA GFLOP/s at *threads* (2 flops per lane per FMA)."""
+        t = min(threads, self.max_threads)
+        eff_cores = min(t, self.cores)
+        return eff_cores * self.ghz * self.fma_ports * self.simd_lanes(itemsize) * 2.0
+
+    def bandwidth(self, threads: int) -> float:
+        """Aggregate streaming bandwidth (GB/s) available to *threads*."""
+        t = min(threads, self.max_threads)
+        return min(t * self.core_bw_gbs, self.peak_bw_gbs)
+
+
+#: Paper: dual-socket Intel Xeon Gold 6130 (Skylake-SP), AVX-512,
+#: hyper-threading on, MLC read-only bandwidth 202.8 GB/s.
+SKL = Machine(
+    name="skl",
+    cores=32,
+    max_threads=64,
+    simd_bits=512,
+    ghz=1.9,            # AVX-512 all-core licence clock of the 6130
+    peak_bw_gbs=202.8,
+    core_bw_gbs=12.0,
+    gather_cost=2.5,
+    expand_cost=8.0,    # hardware vexpand: short but serially dependent
+)
+
+#: Paper: dual-socket AMD EPYC 7452 (Zen2), AVX2 (256-bit),
+#: MLC read-only bandwidth 236.43 GB/s.
+ZEN2 = Machine(
+    name="zen2",
+    cores=64,
+    max_threads=64,
+    simd_bits=256,
+    ghz=2.35,
+    peak_bw_gbs=236.43,
+    core_bw_gbs=20.0,
+    gather_cost=3.5,
+    expand_cost=12.0,   # soft-vexpand: the paper's "high instruction
+                        # overhead" — M at 1T on Zen2 runs at half SKL's
+)
+
+#: This container (single core, AVX-512-capable).  Bandwidth figures are
+#: rough; use repro.bench.calibrate to refit from a stream benchmark.
+HOST = Machine(
+    name="host",
+    cores=1,
+    max_threads=1,
+    simd_bits=512,
+    ghz=2.5,
+    peak_bw_gbs=20.0,
+    core_bw_gbs=20.0,
+    gather_cost=2.0,
+    expand_cost=1.0,
+)
+
+
+def machine_by_name(name: str) -> Machine:
+    """Lookup: ``"skl"``, ``"zen2"`` or ``"host"``."""
+    table = {"skl": SKL, "zen2": ZEN2, "host": HOST}
+    try:
+        return table[name.lower()]
+    except KeyError:
+        raise ValidationError(f"unknown machine {name!r}; options {sorted(table)}") from None

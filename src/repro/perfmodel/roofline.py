@@ -1,0 +1,93 @@
+"""Roofline + latency model: predicted GFLOP/s per thread count.
+
+For a format ``f`` on machine ``M`` with ``t`` threads:
+
+* **memory time** = ``M_Rit(f) / bandwidth(M, t)`` — the bandwidth roof
+  (Section V-C's effective-bandwidth analysis, Fig 11);
+* **compute time** = ``cycles(profile(f), M) / (t_eff * ghz)`` — the
+  instruction/latency bound that dominates at few threads (Section II's
+  observation, Fig 10's linear region);
+* predicted ``T = max(memory, compute)``, GFLOP/s = ``2 nnz / T``.
+
+Thread counts beyond the physical cores contribute partial extra
+throughput (hyper-threading), modelled with a single SMT yield factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.instructions import instruction_profile
+from repro.perfmodel.platform import Machine
+from repro.sparse.matrix_base import SpMVFormat
+from repro.sparse.stats import memory_requirement
+
+#: extra throughput of the second hardware thread of a core
+SMT_YIELD = 0.25
+
+
+def _effective_cores(machine: Machine, threads: int) -> float:
+    t = min(threads, machine.max_threads)
+    if t <= machine.cores:
+        return float(t)
+    return machine.cores + SMT_YIELD * (t - machine.cores)
+
+
+def predict_time(fmt: SpMVFormat, machine: Machine, threads: int) -> dict[str, float]:
+    """Predicted SpMV time (seconds) with its two components."""
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    mem = memory_requirement(fmt)
+    prof = instruction_profile(fmt, machine)
+    mem_time = mem["M_rit"] / (machine.bandwidth(threads) * prof.bw_efficiency * 1e9)
+    cycles = prof.cycles(machine, fmt.dtype.itemsize)
+    compute_time = cycles / (_effective_cores(machine, threads) * machine.ghz * 1e9)
+    return {
+        "memory": mem_time,
+        "compute": compute_time,
+        "total": max(mem_time, compute_time),
+    }
+
+
+def predict_gflops(fmt: SpMVFormat, machine: Machine, threads: int) -> float:
+    """Predicted GFLOP/s (``2 nnz / T``) of *fmt* on *machine*."""
+    t = predict_time(fmt, machine, threads)["total"]
+    return 2.0 * fmt.nnz / t / 1e9
+
+
+def scalability_curve(
+    fmt: SpMVFormat, machine: Machine, thread_counts=(1, 2, 4, 8, 16, 32, 64)
+) -> dict[int, float]:
+    """Fig 10-style curve: thread count -> predicted GFLOP/s."""
+    return {
+        int(t): predict_gflops(fmt, machine, int(t))
+        for t in thread_counts
+        if t <= machine.max_threads
+    }
+
+
+def bottleneck(fmt: SpMVFormat, machine: Machine, threads: int) -> str:
+    """``"memory"`` or ``"compute"`` — which bound binds at *threads*."""
+    t = predict_time(fmt, machine, threads)
+    return "memory" if t["memory"] >= t["compute"] else "compute"
+
+
+def crossover_threads(
+    fmt_a: SpMVFormat, fmt_b: SpMVFormat, machine: Machine, max_threads: int = 64
+) -> int | None:
+    """First thread count where *fmt_b* overtakes *fmt_a* (None if never).
+
+    Used for the CSCV-Z / CSCV-M crossover the paper reports (Z wins at
+    few threads, M wins once bandwidth binds).
+    """
+    for t in range(1, min(max_threads, machine.max_threads) + 1):
+        if predict_gflops(fmt_b, machine, t) > predict_gflops(fmt_a, machine, t):
+            return t
+    return None
+
+
+def effective_bw_ratio_model(fmt: SpMVFormat, machine: Machine, threads: int) -> float:
+    """Model-side ``R_EM``: achieved traffic rate over the platform peak."""
+    t = predict_time(fmt, machine, threads)["total"]
+    mem = memory_requirement(fmt)["M_rit"]
+    return mem / (t * machine.peak_bw_gbs * 1e9)

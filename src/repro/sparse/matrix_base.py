@@ -1,0 +1,253 @@
+"""Base class and registry for SpMV-capable sparse-matrix formats.
+
+Every format in :mod:`repro.sparse` (and CSCV in :mod:`repro.core`)
+subclasses :class:`SpMVFormat`, which fixes the public contract:
+
+* construction from COO triplets (:meth:`SpMVFormat.from_coo`);
+* ``y = A @ x`` through :meth:`SpMVFormat.spmv` /
+  :meth:`SpMVFormat.spmv_into`;
+* an exact accounting of the bytes the format streams per SpMV
+  (:meth:`SpMVFormat.memory_bytes`) — the paper's ``M(A)`` term;
+* densification for testing (:meth:`SpMVFormat.to_dense`).
+
+Formats register themselves under a short name with
+:func:`register_format`, so the bench harness can sweep "all formats" the
+way the paper's evaluation does.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Type
+
+import numpy as np
+
+from repro.config import normalize_dtype
+from repro.errors import FormatError, ValidationError
+from repro.utils.arrays import check_1d, ensure_dtype
+
+_REGISTRY: dict[str, Type["SpMVFormat"]] = {}
+
+
+def register_format(cls: Type["SpMVFormat"]) -> Type["SpMVFormat"]:
+    """Class decorator: add *cls* to the global format registry."""
+    name = getattr(cls, "name", None)
+    if not name:
+        raise FormatError(f"{cls.__name__} must define a non-empty `name`")
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise FormatError(f"format name {name!r} already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_format(name: str) -> Type["SpMVFormat"]:
+    """Look up a registered format class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise FormatError(
+            f"unknown format {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_formats() -> list[str]:
+    """Names of all registered formats, sorted."""
+    return sorted(_REGISTRY)
+
+
+class SpMVFormat(abc.ABC):
+    """Abstract sparse matrix supporting ``y = A @ x``.
+
+    Subclasses must set the class attribute :attr:`name` and implement
+    :meth:`from_coo`, :meth:`spmv_into` and :meth:`memory_bytes`.
+    """
+
+    #: short registry name, e.g. ``"csr"``
+    name: str = ""
+
+    def __init__(self, shape: tuple[int, int], nnz: int, dtype):
+        m, n = int(shape[0]), int(shape[1])
+        if m < 0 or n < 0:
+            raise ValidationError(f"invalid shape {shape}")
+        if nnz < 0:
+            raise ValidationError("nnz must be >= 0")
+        self._shape = (m, n)
+        self._nnz = int(nnz)
+        self._dtype = normalize_dtype(dtype)
+
+    # ------------------------------------------------------------------ #
+    # core contract
+
+    @classmethod
+    @abc.abstractmethod
+    def from_coo(
+        cls,
+        shape: tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        **kwargs,
+    ) -> "SpMVFormat":
+        """Build the format from (already deduplicated) COO triplets."""
+
+    @abc.abstractmethod
+    def spmv_into(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Compute ``y[:] = A @ x`` in place and return *y*.
+
+        *y* must be a contiguous array of the matrix dtype with
+        ``len(y) == shape[0]``; its previous contents are overwritten.
+        """
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> dict[str, int]:
+        """Bytes streamed from memory for the matrix per SpMV.
+
+        Returns a dict with at least ``{"values": ..., "indices": ...,
+        "total": ...}``; ``total`` is the paper's ``M(A)``.
+        """
+
+    # ------------------------------------------------------------------ #
+    # shared behaviour
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols)."""
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        """Number of *stored meaningful* nonzeros (excludes padding)."""
+        return self._nnz
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype (float32 or float64)."""
+        return self._dtype
+
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Compute and return ``y = A @ x`` (allocating unless *out* given)."""
+        x = self._check_x(x)
+        if out is None:
+            out = np.zeros(self._shape[0], dtype=self._dtype)
+        else:
+            out = check_1d(out, self._shape[0], "out")
+            if out.dtype != self._dtype or not out.flags.c_contiguous:
+                raise ValidationError(
+                    f"out must be C-contiguous {self._dtype}, got {out.dtype}"
+                )
+        return self.spmv_into(x, out)
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim == 2:
+            return self.spmm(x)
+        return self.spmv(x)
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Multi-vector product ``Y = A @ X`` with ``X`` of shape (n, k).
+
+        The multi-slice CT workload: one system matrix applied to many
+        images (or sinograms) at once.  The default implementation runs
+        one SpMV per column; formats with a vectorised multi-RHS path
+        override it.
+        """
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[0] != self._shape[1]:
+            raise ValidationError(
+                f"X must have shape ({self._shape[1]}, k), got {X.shape}"
+            )
+        k = X.shape[1]
+        if out is None:
+            out = np.zeros((self._shape[0], k), dtype=self._dtype)
+        elif out.shape != (self._shape[0], k):
+            raise ValidationError(f"out must have shape ({self._shape[0]}, {k})")
+        for j in range(k):
+            out[:, j] = self.spmv(np.ascontiguousarray(X[:, j], dtype=self._dtype))
+        return out
+
+    def _check_x(self, x: np.ndarray) -> np.ndarray:
+        x = check_1d(x, self._shape[1], "x")
+        return ensure_dtype(x, self._dtype, "x")
+
+    def to_dense(self) -> np.ndarray:
+        """Dense equivalent, reconstructed by multiplying by unit vectors.
+
+        Subclasses with direct access to triplets should override this; the
+        default is O(n) SpMVs and intended only for small test matrices.
+        """
+        m, n = self._shape
+        dense = np.zeros((m, n), dtype=self._dtype)
+        e = np.zeros(n, dtype=self._dtype)
+        for j in range(n):
+            e[j] = 1.0
+            dense[:, j] = self.spmv(e)
+            e[j] = 0.0
+        return dense
+
+    def index_bytes(self) -> int:
+        """Bytes of index/metadata streamed per SpMV (from memory_bytes)."""
+        return int(self.memory_bytes()["indices"])
+
+    def describe(self) -> dict:
+        """Human-readable summary used by the bench reports."""
+        mem = self.memory_bytes()
+        return {
+            "format": self.name,
+            "shape": self._shape,
+            "nnz": self._nnz,
+            "dtype": str(self._dtype),
+            "matrix MiB": mem["total"] / 2**20,
+            "index MiB": mem["indices"] / 2**20,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        m, n = self._shape
+        return (
+            f"<{type(self).__name__} {m}x{n} nnz={self._nnz} "
+            f"dtype={self._dtype}>"
+        )
+
+
+def coo_validate(
+    shape: tuple[int, int],
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    dtype=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared COO triplet validation used by every ``from_coo``.
+
+    Casts indices to int64, values to *dtype* (default: vals.dtype
+    normalised), checks ranges and equal lengths.
+    """
+    m, n = int(shape[0]), int(shape[1])
+    rows = ensure_dtype(rows, np.int64, "rows")
+    cols = ensure_dtype(cols, np.int64, "cols")
+    if dtype is None:
+        dtype = normalize_dtype(np.asarray(vals).dtype if hasattr(vals, "dtype") else np.float64)
+    vals = ensure_dtype(vals, dtype, "vals")
+    if not (rows.shape == cols.shape == vals.shape):
+        raise ValidationError(
+            f"triplet arrays must have equal length, got "
+            f"{rows.shape}, {cols.shape}, {vals.shape}"
+        )
+    if rows.size:
+        if rows.min() < 0 or rows.max() >= m:
+            raise ValidationError(f"row indices out of range [0, {m})")
+        if cols.min() < 0 or cols.max() >= n:
+            raise ValidationError(f"col indices out of range [0, {n})")
+    return rows, cols, vals
+
+
+def coalesce(
+    rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, shape: tuple[int, int]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort triplets row-major and sum duplicates."""
+    m, n = shape
+    key = rows * n + cols
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    vals = vals[order]
+    uniq, start = np.unique(key, return_index=True)
+    summed = np.add.reduceat(vals, start) if vals.size else vals
+    return (uniq // n).astype(np.int64), (uniq % n).astype(np.int64), summed

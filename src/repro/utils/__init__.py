@@ -1,0 +1,29 @@
+"""Shared utilities: array helpers, timing, partitioning, ASCII tables."""
+
+from repro.utils.arrays import (
+    aligned_zeros,
+    as_contiguous,
+    check_1d,
+    ensure_dtype,
+)
+from repro.utils.partition import (
+    chunk_ranges,
+    greedy_balance,
+    split_evenly,
+)
+from repro.utils.tables import Table, render_grid
+from repro.utils.timing import Timer, min_time
+
+__all__ = [
+    "aligned_zeros",
+    "as_contiguous",
+    "check_1d",
+    "ensure_dtype",
+    "chunk_ranges",
+    "greedy_balance",
+    "split_evenly",
+    "Table",
+    "render_grid",
+    "Timer",
+    "min_time",
+]

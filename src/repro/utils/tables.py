@@ -1,0 +1,146 @@
+"""ASCII rendering for benchmark tables and figure-style grids.
+
+Every experiment in :mod:`repro.bench` reports through these renderers so
+``pytest benchmarks/`` output looks like the paper's tables.  ``Table``
+renders column-aligned tables with optional best/second-best emphasis
+(the paper marks best bold, second italic — we use ``*`` and ``~``).
+:func:`render_grid` renders small 2-D heatmaps (Figs 5, 8, 9) using a
+density ramp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: character ramp from light to dark for ASCII heatmaps
+_RAMP = " .:-=+*#%@"
+
+
+def _fmt(value, spec: str | None) -> str:
+    if value is None:
+        return "-"
+    if spec and isinstance(value, (int, float, np.integer, np.floating)):
+        return format(value, spec)
+    return str(value)
+
+
+@dataclass
+class Table:
+    """Column-aligned ASCII table.
+
+    Parameters
+    ----------
+    headers : sequence of str
+        Column names.
+    fmt : str or None
+        Default numeric format spec (e.g. ``".2f"``) applied to numbers.
+    title : str
+        Optional title printed above the rule.
+    """
+
+    headers: Sequence[str]
+    fmt: str | None = None
+    title: str = ""
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *cells) -> "Table":
+        """Append one row (cells may be any mix of str/number/None)."""
+        if len(cells) == 1 and isinstance(cells[0], (list, tuple)):
+            cells = tuple(cells[0])
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+        return self
+
+    def mark_extremes(self, column: int, best: str = "max") -> "Table":
+        """Mark best (``*``) and second-best (``~``) numeric values in a column.
+
+        Mirrors Table IV's bold/italic emphasis.  Non-numeric cells are
+        ignored.  ``best`` selects whether larger (``"max"``) or smaller
+        (``"min"``) is better.
+        """
+        vals = []
+        for i, row in enumerate(self.rows):
+            cell = row[column]
+            if isinstance(cell, (int, float, np.integer, np.floating)):
+                vals.append((float(cell), i))
+        if not vals:
+            return self
+        reverse = best == "max"
+        vals.sort(key=lambda t: t[0], reverse=reverse)
+        marks = {"*": vals[0][1]}
+        if len(vals) > 1:
+            marks["~"] = vals[1][1]
+        for mark, idx in marks.items():
+            cell = self.rows[idx][column]
+            self.rows[idx][column] = f"{_fmt(cell, self.fmt)}{mark}"
+        return self
+
+    def render(self) -> str:
+        """Render the table to a string."""
+        str_rows = [
+            [_fmt(c, self.fmt) for c in row] for row in self.rows
+        ]
+        widths = [len(h) for h in self.headers]
+        for row in str_rows:
+            for j, cell in enumerate(row):
+                widths[j] = max(widths[j], len(cell))
+        sep = "+".join("-" * (w + 2) for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(sep)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in str_rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(sep)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_grid(
+    values: np.ndarray,
+    *,
+    row_labels: Iterable | None = None,
+    col_labels: Iterable | None = None,
+    title: str = "",
+    fmt: str = ".2f",
+    heat: bool = False,
+) -> str:
+    """Render a 2-D array as an ASCII grid, optionally as a heatmap.
+
+    With ``heat=True`` each cell shows both the value and a density glyph
+    from a 10-step ramp, normalised over finite entries — used for the
+    paper's parameter-sweep heatmaps (Figs 5, 8, 9).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"values must be 2-D, got shape {arr.shape}")
+    finite = arr[np.isfinite(arr)]
+    lo, hi = (finite.min(), finite.max()) if finite.size else (0.0, 1.0)
+    span = (hi - lo) or 1.0
+
+    def cell(v) -> str:
+        if not np.isfinite(v):
+            return "-"
+        txt = format(v, fmt)
+        if heat:
+            glyph = _RAMP[min(int((v - lo) / span * (len(_RAMP) - 1)), len(_RAMP) - 1)]
+            txt = f"{txt}{glyph}"
+        return txt
+
+    rows = [[cell(v) for v in r] for r in arr]
+    rl = [str(r) for r in (row_labels if row_labels is not None else range(arr.shape[0]))]
+    cl = [str(c) for c in (col_labels if col_labels is not None else range(arr.shape[1]))]
+    tbl = Table(headers=["", *cl], title=title)
+    for label, row in zip(rl, rows):
+        tbl.add_row(label, *row)
+    return tbl.render()

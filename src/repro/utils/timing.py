@@ -1,0 +1,104 @@
+"""Timing utilities implementing the paper's measurement protocol.
+
+Section V-C: *"Performance is measured by the minimum SpMV execution time
+recorded with at least 100 SpMV iterations"* — the minimum is robust to
+one-off overheads (thread fork/join, allocation, frequency ramp-up).
+:func:`min_time` implements exactly that; :class:`Timer` is a small
+context-manager stopwatch used by the pipeline-stage breakdown (Fig 7).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating named laps.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.lap("convert"):
+    ...     pass
+    >>> "convert" in t.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    class _Lap:
+        def __init__(self, timer: "Timer", name: str):
+            self._timer = timer
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self):
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc):
+            elapsed = time.perf_counter() - self._start
+            self._timer.laps[self._name] = self._timer.laps.get(self._name, 0.0) + elapsed
+            return False
+
+    def lap(self, name: str) -> "Timer._Lap":
+        """Return a context manager that accumulates elapsed time under *name*."""
+        return Timer._Lap(self, name)
+
+    def total(self) -> float:
+        """Sum of all recorded laps in seconds."""
+        return sum(self.laps.values())
+
+
+def min_time(
+    fn: Callable[[], object],
+    *,
+    iterations: int = 100,
+    warmup: int = 3,
+    max_seconds: float = 5.0,
+) -> float:
+    """Minimum wall-clock execution time of *fn* over repeated calls.
+
+    Parameters
+    ----------
+    fn : callable
+        The operation to time (no arguments; capture state in a closure).
+    iterations : int
+        Target number of timed iterations (the paper uses >= 100).
+    warmup : int
+        Untimed warm-up calls (cache/JIT/page-fault warming).
+    max_seconds : float
+        Stop early once this much total timed wall-clock has elapsed, so
+        huge problems don't hold the harness hostage.  At least one timed
+        iteration always runs.
+
+    Returns
+    -------
+    float
+        The minimum observed per-call time in seconds.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    for _ in range(max(0, warmup)):
+        fn()
+    best = float("inf")
+    spent = 0.0
+    for _ in range(iterations):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        spent += elapsed
+        if spent >= max_seconds:
+            break
+    return best
+
+
+def gflops(nnz: int, seconds: float) -> float:
+    """SpMV floating-point rate per the paper: ``F = 2*nnz / T`` in GFLOP/s."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return 2.0 * nnz / seconds / 1e9

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite.
+
+Small CT matrices built once per session; both compute backends are
+exercised through the ``backend`` fixture (C kernels when a compiler is
+present, NumPy always).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.api import build_ct_matrix
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+
+
+@pytest.fixture(scope="session")
+def small_ct():
+    """32x32 strip-model CT matrix + geometry (float64)."""
+    return build_ct_matrix(32)
+
+
+@pytest.fixture(scope="session")
+def small_ct_f32():
+    """32x32 strip-model CT matrix + geometry (float32)."""
+    return build_ct_matrix(32, dtype=np.float32)
+
+
+@pytest.fixture(scope="session")
+def fine_ct():
+    """48x48 matrix with fine angular sampling (realistic CSCV padding)."""
+    geom = ParallelBeamGeometry.for_image(48, num_views=96)
+    return build_ct_matrix(48, geom=geom, dtype=np.float32)
+
+
+@pytest.fixture(params=["auto", "numpy"])
+def backend(request):
+    """Run a test under both the compiled and the NumPy backend."""
+    prev = config.runtime.backend
+    config.runtime.backend = request.param
+    yield request.param
+    config.runtime.backend = prev
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

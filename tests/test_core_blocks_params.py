@@ -1,0 +1,109 @@
+"""Tests for CSCV parameters and the block grid."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.core.params import CSCVParams, PAPER_TABLE3
+from repro.errors import ValidationError
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return ParallelBeamGeometry(image_size=25, num_bins=38, num_views=45, delta_angle_deg=4.0)
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        p = CSCVParams()
+        assert p.vxg_len == p.s_vvec * p.s_vxg
+
+    @pytest.mark.parametrize("bad", [dict(s_vvec=0), dict(s_vvec=33), dict(s_imgb=0), dict(s_vxg=0)])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValidationError):
+            CSCVParams(**bad)
+
+    def test_replace(self):
+        p = CSCVParams(8, 16, 2).replace(s_vxg=4)
+        assert p.as_tuple() == (8, 16, 4)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CSCVParams().s_vvec = 4
+
+    def test_paper_table3_triples_valid(self):
+        for p in PAPER_TABLE3.values():
+            assert isinstance(p, CSCVParams)
+
+    def test_simd_lanes(self):
+        # 16 float32 lanes fill one AVX-512 register exactly
+        assert CSCVParams(16, 16, 2).simd_lanes(4, 512) == 1.0
+
+
+class TestBlockGrid:
+    def test_block_counts(self, geom):
+        grid = BlockGrid(geom, CSCVParams(8, 5, 2))
+        assert grid.tiles_per_side == 5
+        assert grid.num_view_groups == 6  # ceil(45 / 8)
+        assert grid.num_blocks == 150
+
+    def test_block_materialisation(self, geom):
+        grid = BlockGrid(geom, CSCVParams(8, 5, 2))
+        b = grid.block(grid.num_img_blocks * 1 + 7)  # group 1, tile 7
+        assert b.v0 == 8 and b.v1 == 16
+        assert b.i0 == 5 and b.j0 == 10  # tile 7 = (1, 2)
+
+    def test_tail_view_group_short(self, geom):
+        grid = BlockGrid(geom, CSCVParams(8, 5, 2))
+        last = grid.block(grid.num_blocks - 1)
+        assert last.num_views == 45 - 5 * 8  # 5 views in the tail group
+
+    def test_block_id_bounds(self, geom):
+        grid = BlockGrid(geom, CSCVParams(8, 5, 2))
+        with pytest.raises(ValidationError):
+            grid.block(grid.num_blocks)
+
+    def test_reference_pixel_is_tile_center(self, geom):
+        grid = BlockGrid(geom, CSCVParams(8, 5, 2))
+        b = grid.block(0)
+        assert b.reference_pixel == (2, 2)
+
+    def test_pixel_ids_cover_tile(self, geom):
+        grid = BlockGrid(geom, CSCVParams(8, 5, 2))
+        b = grid.block(3)
+        ids = b.pixel_ids(geom.image_size)
+        assert ids.size == 25
+        i, j = ids // 25, ids % 25
+        assert i.min() == b.i0 and i.max() == b.i1 - 1
+        assert j.min() == b.j0 and j.max() == b.j1 - 1
+
+    def test_classify_consistent_with_block(self, geom):
+        grid = BlockGrid(geom, CSCVParams(8, 5, 2))
+        rows = np.array([geom.row_index(9, 20), geom.row_index(0, 0)])
+        cols = np.array([geom.pixel_index(6, 12), geom.pixel_index(0, 0)])
+        block_id, lane, bin_, tile = grid.classify(rows, cols)
+        b = grid.block(int(block_id[0]))
+        assert b.v0 <= 9 < b.v1
+        assert b.i0 <= 6 < b.i1 and b.j0 <= 12 < b.j1
+        assert lane[0] == 9 - b.v0
+        assert bin_[0] == 20
+
+    def test_reference_bins_match_trajectory(self, geom):
+        from repro.geometry.trajectory import reference_trajectory
+
+        grid = BlockGrid(geom, CSCVParams(8, 5, 2))
+        refb = grid.reference_bins()
+        assert refb.shape == (geom.num_views, grid.num_img_blocks)
+        # tile 12 is the centre tile; its reference pixel is (12, 12)
+        ri, rj = grid.reference_pixels()
+        t = 12
+        expected = reference_trajectory(geom, int(ri[t]), int(rj[t]))
+        np.testing.assert_array_equal(refb[:, t], expected)
+
+    def test_non_divisible_image(self):
+        g = ParallelBeamGeometry(image_size=10, num_bins=16, num_views=4, delta_angle_deg=1.0)
+        grid = BlockGrid(g, CSCVParams(4, 4, 1))
+        assert grid.tiles_per_side == 3
+        last = grid.block(grid.num_img_blocks - 1)
+        assert last.i1 == 10 and last.j1 == 10  # clipped tail tile

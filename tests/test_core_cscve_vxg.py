@@ -1,0 +1,158 @@
+"""Tests for the single-block CSCVE analysis and VxG construction trace."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments.table1 import sample_block, sample_geometry, sample_params
+from repro.core.cscve import (
+    column_cscves,
+    layout_ascii,
+    pixel_stats,
+    reference_sweep,
+)
+from repro.core.vxg import (
+    VxGTrace,
+    construct_vxgs,
+    index_data_ratio,
+    order_by_count,
+    render_trace,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return sample_geometry()
+
+
+@pytest.fixture(scope="module")
+def block():
+    return sample_block()
+
+
+class TestColumnCSCVEs:
+    def test_reference_pixel_dense(self, geom, block):
+        cscves = column_cscves(geom, block, block.reference_pixel,
+                               block.reference_pixel, 8)
+        # reference pixel against itself: offset 0 fully occupied
+        assert 0 in cscves
+        assert cscves[0].all()
+
+    def test_occupancy_counts_equal_nnz(self, geom, block):
+        from repro.geometry.trajectory import pixel_trajectory
+
+        pix = (6, 8)
+        views = np.arange(block.v0, block.v1)
+        lo, hi = pixel_trajectory(geom, *pix, views, clip=False)
+        expected_nnz = int((hi - lo + 1).sum())
+        cscves = column_cscves(geom, block, pix, block.reference_pixel, 8)
+        assert sum(int(v.sum()) for v in cscves.values()) == expected_nnz
+
+    def test_svvec_too_small_rejected(self, geom, block):
+        with pytest.raises(ValidationError):
+            column_cscves(geom, block, (6, 6), block.reference_pixel, s_vvec=4)
+
+
+class TestPixelStats:
+    def test_padding_rate_definition(self, geom, block):
+        st = pixel_stats(geom, block, (5, 9), block.reference_pixel, 8)
+        assert st.padding == st.num_cscve * 8 - st.nnz
+        assert st.padding_rate == pytest.approx(st.padding / st.nnz)
+
+    def test_offsets_sorted(self, geom, block):
+        st = pixel_stats(geom, block, (9, 5), block.reference_pixel, 8)
+        assert list(st.offsets) == sorted(st.offsets)
+
+    def test_reference_pixel_minimal_padding(self, geom, block):
+        ref = block.reference_pixel
+        st_ref = pixel_stats(geom, block, ref, ref, 8)
+        st_far = pixel_stats(geom, block, (block.i0, block.j0), ref, 8)
+        assert st_ref.padding_rate <= st_far.padding_rate
+
+
+class TestReferenceSweep:
+    def test_grids_shape(self, geom, block):
+        grids = reference_sweep(geom, block, 8)
+        shape = (block.i1 - block.i0, block.j1 - block.j0)
+        for key in ("padding", "cscve_count", "offset_span"):
+            assert grids[key].shape == shape
+
+    def test_center_near_optimal(self):
+        from repro.bench.experiments.fig5 import center_is_good_reference
+
+        assert center_is_good_reference()
+
+
+class TestLayoutAscii:
+    def test_contains_markers(self, geom, block):
+        art = layout_ascii(geom, block, (7, 7), 8)
+        assert "#" in art and "d=" in art
+
+
+class TestVxGConstruction:
+    def test_windows_cover_all_offsets(self):
+        offsets = {0: [(3, 5), (4, 8), (6, 2)], 1: [(0, 8), (1, 8)]}
+        vxgs = construct_vxgs(offsets, s_vxg=2)
+        covered = {
+            (g.column, g.d_start + k)
+            for g in vxgs
+            for k in range(2)
+        }
+        for col, entries in offsets.items():
+            for d, _ in entries:
+                assert (col, d) in covered
+
+    def test_extra_padding_marked(self):
+        # gap at offset 4 inside the window [3, 5) -> no; window [5,7)?
+        offsets = {0: [(3, 5), (6, 2)]}  # anchored windows: [3,5) and [5,7)
+        vxgs = construct_vxgs(offsets, s_vxg=2)
+        assert any(g.has_extra_padding for g in vxgs)
+
+    def test_contiguous_offsets_no_extra_padding(self):
+        offsets = {0: [(2, 8), (3, 7), (4, 8), (5, 6)]}
+        vxgs = construct_vxgs(offsets, s_vxg=2)
+        assert not any(g.has_extra_padding for g in vxgs)
+
+    def test_nnz_preserved(self):
+        offsets = {0: [(1, 4), (2, 5)], 3: [(7, 2)]}
+        vxgs = construct_vxgs(offsets, s_vxg=2)
+        assert sum(g.nnz for g in vxgs) == 11
+
+    def test_order_by_count_descending(self):
+        vxgs = [
+            VxGTrace(0, 0, (1, 1), False),
+            VxGTrace(0, 2, (8, 8), False),
+            VxGTrace(1, 0, (4, 0), True),
+        ]
+        ordered = order_by_count(vxgs)
+        assert [g.nnz for g in ordered] == [16, 4, 2]
+
+    def test_bad_s_vxg(self):
+        with pytest.raises(ValidationError):
+            construct_vxgs({}, 0)
+
+    def test_render_trace_marks(self):
+        out = render_trace([VxGTrace(2, 5, (3, 0), True)])
+        assert "extra-padding" in out and "(5,3)" in out
+
+
+class TestIndexRatio:
+    def test_vxg_reduces_index_volume(self):
+        r = index_data_ratio(num_vxg=25, num_cscve=100, nnz=800)
+        assert r["vs_cscve"] == pytest.approx(0.25)
+        assert r["vs_csc"] == pytest.approx(2 * 25 / 800)
+
+    def test_empty(self):
+        assert index_data_ratio(0, 0, 0) == {"vs_cscve": 0.0, "vs_csc": 0.0}
+
+    def test_matches_builder_at_scale(self, fine_ct):
+        # the ratio computed from real builder output: VxG index volume is
+        # ~1/S_VxG of CSCVE-level indexing
+        from repro.core.builder import build_cscv
+        from repro.core.params import CSCVParams
+
+        coo, geom = fine_ct
+        data = build_cscv(coo.rows, coo.cols, coo.vals, geom,
+                          CSCVParams(8, 16, 4), np.float32)
+        r = index_data_ratio(data.num_vxg, data.num_cscve, data.nnz)
+        assert r["vs_cscve"] < 0.6  # S_VxG=4 should roughly quarter it

@@ -1,0 +1,117 @@
+"""Tests for IOBLR: mapping construction, injectivity, layout efficiency."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments.table1 import sample_block, sample_geometry
+from repro.core.ioblr import IOBLRMapping, build_ioblr_mapping, layout_simd_efficiency
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return sample_geometry()
+
+
+@pytest.fixture(scope="module")
+def block():
+    return sample_block()
+
+
+@pytest.fixture(scope="module")
+def mapping(geom, block):
+    return build_ioblr_mapping(geom, block, s_vvec=8)
+
+
+class TestMappingConstruction:
+    def test_ysize_positive(self, mapping):
+        assert mapping.ysize > 0
+        assert mapping.ysize % mapping.s_vvec == 0
+
+    def test_position_roundtrip(self, mapping):
+        d = mapping.d_min + 1
+        lane = 3
+        pos = int(mapping.position(lane, d))
+        assert pos == (d - mapping.d_min) * mapping.s_vvec + lane
+
+    def test_to_curve_inverse_of_reference(self, mapping):
+        lane = 2
+        bin_ = int(mapping.ref_bins[lane]) + 4
+        assert int(mapping.to_curve(lane, bin_)) == 4
+
+    def test_band_covers_block_pixels(self, geom, block, mapping):
+        # every nonzero of the block must land inside [d_min, d_max]
+        from repro.geometry.trajectory import pixel_trajectory
+
+        views = np.arange(block.v0, block.v1)
+        for i in range(block.i0, block.i1):
+            for j in range(block.j0, block.j1):
+                lo, hi = pixel_trajectory(geom, i, j, views, clip=False)
+                d_lo = lo - mapping.ref_bins[: views.size]
+                d_hi = hi - mapping.ref_bins[: views.size]
+                assert d_lo.min() >= mapping.d_min
+                assert d_hi.max() <= mapping.d_max
+
+
+class TestGlobalMap:
+    def test_injective(self, mapping):
+        assert mapping.inverse_permutation_is_consistent()
+
+    def test_valid_rows_in_range(self, geom, mapping):
+        m = mapping.global_map()
+        valid = m[m >= 0]
+        assert valid.min() >= 0
+        assert valid.max() < geom.num_rays
+
+    def test_rows_belong_to_block_views(self, geom, block, mapping):
+        m = mapping.global_map()
+        valid = m[m >= 0]
+        views = valid // geom.num_bins
+        assert views.min() >= block.v0
+        assert views.max() < block.v1
+
+    def test_out_of_detector_slots_invalid(self, geom, block):
+        # force a band that exits the detector: offsets far below zero
+        mp = build_ioblr_mapping(
+            geom, block, 8,
+            block_bins_lo=np.full(block.num_views, -5),
+            block_bins_hi=np.full(block.num_views, 2),
+        )
+        m = mp.global_map()
+        assert np.any(m == -1)
+        assert mp.inverse_permutation_is_consistent()
+
+    def test_tail_group_lanes_invalid(self, geom):
+        from repro.core.blocks import MatrixBlock
+
+        # block with only 3 real views inside an 8-lane group
+        b = MatrixBlock(block_id=0, v0=42, v1=45, i0=5, i1=10, j0=5, j1=10)
+        mp = build_ioblr_mapping(geom, b, s_vvec=8)
+        m = mp.global_map().reshape(-1, 8)
+        assert np.all(m[:, 3:] == -1)  # lanes beyond the real views
+
+
+class TestLayoutEfficiency:
+    def test_ioblr_beats_other_layouts(self, geom, block):
+        means = {}
+        for layout in ("bin-major", "view-major", "ioblr"):
+            counts = layout_simd_efficiency(geom, block, (7, 7), 8, layout)
+            means[layout] = counts.mean()
+        assert means["ioblr"] > means["view-major"] > means["bin-major"]
+
+    def test_ioblr_reference_pixel_nearly_full(self, geom, block):
+        # the reference pixel's own CSCVEs are nearly full by construction
+        counts = layout_simd_efficiency(geom, block, block.reference_pixel, 8, "ioblr")
+        assert counts.max() == 8
+
+    def test_counts_conserve_nnz(self, geom, block):
+        # all three layouts partition the same nonzero set
+        totals = {
+            layout: layout_simd_efficiency(geom, block, (6, 8), 8, layout).sum()
+            for layout in ("bin-major", "view-major", "ioblr")
+        }
+        assert len(set(totals.values())) == 1
+
+    def test_unknown_layout(self, geom, block):
+        with pytest.raises(ValidationError):
+            layout_simd_efficiency(geom, block, (7, 7), 8, "diagonal")

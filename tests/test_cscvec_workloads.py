@@ -1,0 +1,133 @@
+"""Tests for the Algorithm 2 format (csc-vec) and non-CT workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import (
+    laplacian_2d,
+    powerlaw_graph,
+    random_banded,
+    row_skew,
+)
+from repro.errors import FormatError, ValidationError
+from repro.sparse import CSCVecMatrix
+
+
+class TestCSCVec:
+    def test_matches_dense(self, rng):
+        m, n = 27, 31
+        nnz = 250
+        rows, cols = rng.integers(0, m, nnz), rng.integers(0, n, nnz)
+        vals = rng.standard_normal(nnz)
+        dense = np.zeros((m, n))
+        np.add.at(dense, (rows, cols), vals)
+        x = rng.standard_normal(n)
+        for s_vvec in (1, 3, 8, 16):
+            fmt = CSCVecMatrix.from_coo((m, n), rows, cols, vals, s_vvec=s_vvec)
+            np.testing.assert_allclose(fmt.spmv(x), dense @ x, rtol=1e-10, atol=1e-10)
+
+    def test_segment_count(self):
+        # column with 10 nonzeros at s_vvec=4 -> 3 segments
+        rows = np.arange(10)
+        cols = np.zeros(10, dtype=int)
+        fmt = CSCVecMatrix.from_coo((10, 2), rows, cols, np.ones(10), s_vvec=4)
+        assert fmt.num_segments == 3
+        assert fmt.padded_slots() == 12
+
+    def test_permutation_tax(self, rng):
+        rows, cols = rng.integers(0, 9, 40), rng.integers(0, 9, 40)
+        fmt = CSCVecMatrix.from_coo((9, 9), rows, cols, np.ones(40))
+        assert fmt.permutation_instruction_count() == 2 * fmt.nnz
+
+    def test_storage_identical_to_csc(self, rng):
+        from repro.sparse import CSCMatrix
+
+        rows, cols = rng.integers(0, 12, 60), rng.integers(0, 12, 60)
+        vals = rng.standard_normal(60)
+        a = CSCMatrix.from_coo((12, 12), rows, cols, vals)
+        b = CSCVecMatrix.from_coo((12, 12), rows, cols, vals)
+        assert a.memory_bytes() == b.memory_bytes()
+
+    def test_bad_s_vvec(self, rng):
+        with pytest.raises(FormatError):
+            CSCVecMatrix.from_coo((3, 3), [0], [0], [1.0], s_vvec=0)
+
+    def test_instruction_profile_exists(self, rng):
+        from repro.perfmodel import SKL, instruction_profile
+
+        fmt = CSCVecMatrix.from_coo((8, 8), [1, 2], [3, 3], [1.0, 2.0])
+        p = instruction_profile(fmt, SKL)
+        assert p.gather_elems == 2 and p.scatter_elems == 2
+
+
+class TestWorkloads:
+    def test_laplacian_structure(self):
+        lap = laplacian_2d(8)
+        dense = lap.to_dense()
+        assert np.allclose(dense, dense.T)  # symmetric
+        assert np.all(np.diag(dense) == 4.0)
+        # interior row sums are zero (discrete Laplacian)
+        interior = 3 * 8 + 3  # pixel (3,3)
+        assert dense[interior].sum() == 0.0
+
+    def test_laplacian_is_ell_friendly(self):
+        lap = laplacian_2d(12)
+        assert row_skew(lap) < 1.3
+
+    def test_powerlaw_is_skewed(self):
+        g = powerlaw_graph(500, m=4, seed=1)
+        assert row_skew(g) > 4.0
+
+    def test_powerlaw_symmetric(self):
+        g = powerlaw_graph(100, m=3)
+        d = g.to_dense()
+        assert np.allclose(d, d.T)
+        assert np.all(np.diag(d) == 0.0)
+
+    def test_banded_band_respected(self):
+        b = random_banded(50, bandwidth=3, density=1.0)
+        assert np.all(np.abs(b.rows - b.cols) <= 3)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            laplacian_2d(1)
+        with pytest.raises(ValidationError):
+            powerlaw_graph(3, m=4)
+        with pytest.raises(ValidationError):
+            random_banded(10, bandwidth=0)
+
+    def test_all_formats_correct_on_laplacian(self, rng):
+        from repro.sparse import CSRMatrix, ELLMatrix, HYBMatrix, MergeCSRMatrix
+
+        lap = laplacian_2d(10)
+        x = rng.standard_normal(lap.shape[1])
+        ref = lap.to_dense() @ x
+        for cls in (CSRMatrix, ELLMatrix, HYBMatrix, MergeCSRMatrix):
+            fmt = cls.from_coo(lap.shape, lap.rows, lap.cols, lap.vals)
+            np.testing.assert_allclose(fmt.spmv(x), ref, rtol=1e-10, atol=1e-10)
+
+    def test_ell_refuses_powerlaw_skew(self):
+        from repro.sparse import ELLMatrix
+
+        g = powerlaw_graph(3000, m=2, seed=0)
+        if row_skew(g) > ELLMatrix.max_width_factor:
+            with pytest.raises(FormatError):
+                ELLMatrix.from_coo(g.shape, g.rows, g.cols, g.vals)
+
+
+@settings(max_examples=20, deadline=None)
+@given(s_vvec=st.integers(1, 12), seed=st.integers(0, 2**31 - 1))
+def test_property_cscvec_any_segment_length(s_vvec, seed):
+    """csc-vec is exact for any segment length on random matrices."""
+    rng = np.random.default_rng(seed)
+    m = n = 15
+    nnz = int(rng.integers(1, 80))
+    rows, cols = rng.integers(0, m, nnz), rng.integers(0, n, nnz)
+    vals = rng.standard_normal(nnz)
+    dense = np.zeros((m, n))
+    np.add.at(dense, (rows, cols), vals)
+    x = rng.standard_normal(n)
+    fmt = CSCVecMatrix.from_coo((m, n), rows, cols, vals, s_vvec=s_vvec)
+    np.testing.assert_allclose(fmt.spmv(x), dense @ x, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,106 @@
+"""Tests for repro.geometry.parallel_beam."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+
+
+@pytest.fixture
+def geom():
+    return ParallelBeamGeometry(image_size=25, num_bins=38, num_views=45, delta_angle_deg=4.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(image_size=0, num_bins=4, num_views=4, delta_angle_deg=1.0),
+            dict(image_size=4, num_bins=0, num_views=4, delta_angle_deg=1.0),
+            dict(image_size=4, num_bins=4, num_views=0, delta_angle_deg=1.0),
+            dict(image_size=4, num_bins=4, num_views=4, delta_angle_deg=0.0),
+            dict(image_size=4, num_bins=4, num_views=4, delta_angle_deg=1.0, pixel_size=0),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(GeometryError):
+            ParallelBeamGeometry(**kwargs)
+
+
+class TestSizes:
+    def test_counts(self, geom):
+        assert geom.num_pixels == 625
+        assert geom.num_rays == 38 * 45
+        assert geom.shape == (38 * 45, 625)
+
+    def test_for_image_covers_diagonal(self):
+        g = ParallelBeamGeometry.for_image(512, 240)
+        assert g.num_bins >= int(512 * math.sqrt(2))
+        assert g.covers_image()
+
+    def test_for_image_matches_paper_proportions(self):
+        # paper Table II: 512 image -> 730 bins; ours lands close
+        g = ParallelBeamGeometry.for_image(512)
+        assert abs(g.num_bins - 730) < 10
+
+
+class TestAnglesAndCoordinates:
+    def test_view_angles_degrees(self, geom):
+        deg = geom.view_angles(degrees=True)
+        assert deg[0] == 0.0 and deg[8] == 32.0
+
+    def test_pixel_centers_symmetry(self, geom):
+        X, Y = geom.pixel_centers()
+        # centred image: coordinates sum to zero
+        assert abs(X.sum()) < 1e-9 and abs(Y.sum()) < 1e-9
+
+    def test_center_pixel_at_origin(self, geom):
+        x, y = geom.pixel_center(12, 12)  # 25x25 centre
+        assert x == 0.0 and y == 0.0
+
+    def test_pixel_center_matches_grid(self, geom):
+        X, Y = geom.pixel_centers()
+        p = geom.pixel_index(3, 7)
+        assert X[p] == pytest.approx(geom.pixel_center(3, 7)[0])
+        assert Y[p] == pytest.approx(geom.pixel_center(3, 7)[1])
+
+    def test_pixel_center_bounds(self, geom):
+        with pytest.raises(GeometryError):
+            geom.pixel_center(25, 0)
+
+    def test_detector_coordinate_view0(self, geom):
+        # view 0: s = x
+        s = geom.detector_coordinate(3.0, -5.0, 0)
+        assert float(s) == pytest.approx(3.0)
+
+    def test_detector_coordinate_90deg(self):
+        g = ParallelBeamGeometry(image_size=4, num_bins=8, num_views=2, delta_angle_deg=90.0)
+        s = g.detector_coordinate(3.0, -5.0, 1)
+        assert float(s) == pytest.approx(-5.0)
+
+    def test_s_to_bin_center(self, geom):
+        # s = 0 lands exactly mid-detector
+        assert float(geom.s_to_bin(0.0)) == pytest.approx(19.0)
+
+    def test_bin_lower_edge_roundtrip(self, geom):
+        edges = geom.bin_lower_edge(np.arange(geom.num_bins))
+        assert np.all(np.diff(edges) == pytest.approx(geom.bin_spacing))
+
+
+class TestIndexing:
+    def test_row_index_roundtrip(self, geom):
+        rows = geom.row_index(np.array([0, 3, 44]), np.array([0, 10, 37]))
+        v, b = geom.row_to_view_bin(rows)
+        assert v.tolist() == [0, 3, 44]
+        assert b.tolist() == [0, 10, 37]
+
+    def test_row_index_bin_major(self, geom):
+        # consecutive bins of one view are consecutive rows
+        assert geom.row_index(2, 5) + 1 == geom.row_index(2, 6)
+
+    def test_describe_fields(self, geom):
+        d = geom.describe()
+        assert d["num bin"] == 38 and d["num view"] == 45

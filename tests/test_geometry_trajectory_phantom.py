@@ -1,0 +1,125 @@
+"""Tests for trajectories (P1-P3) and phantoms."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+from repro.geometry.phantom import (
+    blocks_phantom,
+    disk_phantom,
+    disk_sinogram_exact,
+    shepp_logan,
+)
+from repro.geometry.projector_strip import strip_area_matrix
+from repro.geometry.trajectory import (
+    check_p1_contiguity,
+    check_p2_interval,
+    column_nnz_spread,
+    pixel_trajectory,
+    reference_trajectory,
+    shared_bins,
+    trajectory_band,
+)
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return ParallelBeamGeometry(image_size=25, num_bins=38, num_views=45, delta_angle_deg=4.0)
+
+
+class TestPixelTrajectory:
+    def test_interval_valid(self, geom):
+        lo, hi = pixel_trajectory(geom, 7, 7)
+        assert np.all(hi >= lo)
+        assert lo.shape == (geom.num_views,)
+
+    def test_clip(self, geom):
+        lo, hi = pixel_trajectory(geom, 0, 0, clip=True)
+        assert lo.min() >= 0 and hi.max() < geom.num_bins
+
+    def test_center_pixel_stays_mid_detector(self, geom):
+        lo, hi = pixel_trajectory(geom, 12, 12)
+        mid = geom.num_bins / 2
+        assert np.all(np.abs((lo + hi) / 2 - mid) <= 2)
+
+    def test_reference_is_min_bin(self, geom):
+        lo, _ = pixel_trajectory(geom, 5, 9, clip=False)
+        ref = reference_trajectory(geom, 5, 9)
+        assert np.array_equal(ref, lo)
+
+    def test_trajectory_band_contains_members(self, geom):
+        pixels = [(5, 5), (5, 6), (6, 5)]
+        blo, bhi = trajectory_band(geom, pixels)
+        for p in pixels:
+            lo, hi = pixel_trajectory(geom, *p, clip=False)
+            assert np.all(blo <= lo) and np.all(bhi >= hi)
+
+
+class TestSharedBins:
+    def test_adjacent_share_more_than_distant(self, geom):
+        adj = shared_bins(geom, (7, 7), (7, 8)).sum()
+        far = shared_bins(geom, (7, 7), (12, 16)).sum()
+        assert adj > far
+
+    def test_distant_share_somewhere(self, geom):
+        # Fig 2: even non-adjacent pixels share traces in limited views
+        far = shared_bins(geom, (7, 8), (12, 16))
+        assert far.sum() > 0
+
+    def test_self_sharing_is_full_width(self, geom):
+        lo, hi = pixel_trajectory(geom, 9, 9, clip=False)
+        self_share = shared_bins(geom, (9, 9), (9, 9))
+        assert np.array_equal(self_share, hi - lo + 1)
+
+
+class TestProperties:
+    def test_p1_holds_across_views(self, geom):
+        for view in (0, 11, 22, 40):
+            assert check_p1_contiguity(geom, view)
+
+    def test_p2_holds_for_sample_pixels(self, geom):
+        for (i, j) in [(3, 3), (12, 12), (20, 7)]:
+            assert check_p2_interval(geom, i, j, view=13)
+
+    def test_p3_low_column_spread(self):
+        g = ParallelBeamGeometry.for_image(24, num_views=48)
+        rows, cols, _ = strip_area_matrix(g)
+        spread = column_nnz_spread(rows, cols, g.num_pixels)
+        assert spread < 0.35  # paper: "the nnz is similar" per column
+
+
+class TestPhantoms:
+    def test_shepp_logan_range(self):
+        img = shepp_logan(64)
+        assert img.shape == (64, 64)
+        assert img.min() >= 0.0 and img.max() <= 1.01
+
+    def test_shepp_logan_skull_ring(self):
+        img = shepp_logan(64)
+        # outer ellipse value 1 minus inner -0.8 => ring of ~1.0, brain ~0.2
+        assert img[32, 3] == pytest.approx(0.0)      # outside
+        assert img[32, 32] > 0.0                      # inside the brain
+
+    def test_disk_mass(self):
+        img = disk_phantom(64, radius_frac=0.5)
+        area_frac = img.sum() / img.size
+        assert area_frac == pytest.approx(np.pi * 0.25 / 4, rel=0.05)
+
+    def test_disk_sinogram_exact_shape(self):
+        s = disk_sinogram_exact(20, 3, radius=4.0)
+        assert s.shape == (60,)
+        view = s[:20]
+        assert np.all(s[20:40] == view)  # rotation-invariant
+
+    def test_blocks_phantom_deterministic(self):
+        a = blocks_phantom(32)
+        b = blocks_phantom(32)
+        assert np.array_equal(a, b)
+
+    def test_bad_args(self):
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError):
+            shepp_logan(0)
+        with pytest.raises(GeometryError):
+            disk_phantom(8, radius_frac=0.0)

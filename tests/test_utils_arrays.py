@@ -1,0 +1,103 @@
+"""Tests for repro.utils.arrays."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.arrays import (
+    ALIGNMENT,
+    aligned_zeros,
+    as_contiguous,
+    bincount_lengths,
+    check_1d,
+    ensure_dtype,
+    is_aligned,
+)
+
+
+class TestAlignedZeros:
+    def test_alignment_respected(self):
+        for _ in range(8):  # allocation addresses vary; try several
+            a = aligned_zeros(1001, np.float32)
+            assert a.ctypes.data % ALIGNMENT == 0
+
+    def test_zero_initialised(self):
+        a = aligned_zeros((7, 3))
+        assert np.all(a == 0.0)
+
+    def test_shape_and_dtype(self):
+        a = aligned_zeros((4, 5), np.float32)
+        assert a.shape == (4, 5)
+        assert a.dtype == np.float32
+
+    def test_scalar_shape(self):
+        assert aligned_zeros(10).shape == (10,)
+
+    def test_custom_alignment(self):
+        a = aligned_zeros(3, align=128)
+        assert a.ctypes.data % 128 == 0
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValidationError):
+            aligned_zeros(3, align=48)
+
+    def test_writable(self):
+        a = aligned_zeros(5)
+        a[2] = 7.0
+        assert a[2] == 7.0
+
+    def test_empty(self):
+        assert aligned_zeros(0).size == 0
+
+
+class TestIsAligned:
+    def test_aligned_buffer(self):
+        assert is_aligned(aligned_zeros(16))
+
+    def test_unaligned_view(self):
+        base = aligned_zeros(17, np.float32)
+        assert not is_aligned(base[1:])
+
+
+class TestEnsureDtype:
+    def test_casts(self):
+        out = ensure_dtype([1, 2, 3], np.float32)
+        assert out.dtype == np.float32
+
+    def test_contiguous(self):
+        arr = np.arange(10, dtype=np.float64)[::2]
+        out = ensure_dtype(arr, np.float64)
+        assert out.flags.c_contiguous
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            ensure_dtype(np.array(["a", "b"]), np.float64)
+
+
+class TestCheck1D:
+    def test_accepts_vector(self):
+        v = np.arange(4)
+        assert check_1d(v) is v
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValidationError):
+            check_1d(np.zeros((2, 2)))
+
+    def test_size_check(self):
+        with pytest.raises(ValidationError):
+            check_1d(np.zeros(3), size=4)
+
+
+class TestBincountLengths:
+    def test_basic(self):
+        out = bincount_lengths(np.array([0, 1, 1, 3]), 5)
+        assert out.tolist() == [1, 2, 0, 1, 0]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            bincount_lengths(np.array([5]), 5)
+
+    def test_as_contiguous_roundtrip(self):
+        a = np.arange(6).reshape(2, 3).T
+        c = as_contiguous(a)
+        assert c.flags.c_contiguous and np.array_equal(a, c)
