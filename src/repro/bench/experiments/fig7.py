@@ -6,6 +6,11 @@ vectorised SpMV.  We time each stage on a real dataset and report the
 amortisation: conversion cost divided by per-iteration savings vs the
 vendor baseline — the break-even iteration count that justifies CSCV in
 iterative reconstruction.
+
+Stage timing comes from the tracing layer (``repro.obs``): the builder
+already emits ``build.cscv`` with nested per-stage spans, so the figure
+reports the real trajectory/IOBLR/CSCVE/VxG decomposition instead of a
+single opaque conversion lap.
 """
 
 from __future__ import annotations
@@ -17,9 +22,22 @@ from repro.core.builder import build_cscv
 from repro.core.format_m import CSCVMMatrix
 from repro.core.format_z import CSCVZMatrix
 from repro.core.params import CSCVParams
+from repro.obs import trace as obs_trace
 from repro.sparse.mkl_like import MKLLikeCSR
 from repro.utils.tables import Table
-from repro.utils.timing import Timer, min_time
+from repro.utils.timing import min_time
+
+
+def _traced_build(coo, geom, params: CSCVParams, dtype):
+    """Build CSCV with tracing forced on; return (data, new spans)."""
+    tr = obs_trace.tracer
+    prev, mark = tr.enabled, len(tr.finished())
+    tr.enabled = True
+    try:
+        data = build_cscv(coo.rows, coo.cols, coo.vals, geom, params, dtype)
+    finally:
+        tr.enabled = prev
+    return data, tr.finished()[mark:]
 
 
 def run(dataset: str = QUICK_DATASET, dtype=np.float32,
@@ -28,9 +46,7 @@ def run(dataset: str = QUICK_DATASET, dtype=np.float32,
     params = params or CSCVParams(s_vvec=16, s_imgb=16, s_vxg=2)
     coo, geom = get_dataset(dataset).load(dtype=dtype)
 
-    timer = Timer()
-    with timer.lap("convert (COO -> CSCV)"):
-        data = build_cscv(coo.rows, coo.cols, coo.vals, geom, params, dtype)
+    data, spans = _traced_build(coo, geom, params, dtype)
     z = CSCVZMatrix(data)
     m = CSCVMMatrix(data)
     x = np.linspace(0.5, 1.5, coo.shape[1]).astype(dtype)
@@ -41,9 +57,14 @@ def run(dataset: str = QUICK_DATASET, dtype=np.float32,
     mkl = MKLLikeCSR.from_coo(coo.shape, coo.rows, coo.cols, coo.vals, dtype=dtype)
     t_mkl = min_time(lambda: mkl.spmv_into(x, y), iterations=30, max_seconds=2)
 
-    convert_s = timer.laps["convert (COO -> CSCV)"]
+    root = next(s for s in spans if s.name == "build.cscv")
+    convert_s = root.seconds
     t = Table(headers=["stage", "time", "unit"], title="Fig 7: CSCV pipeline stages")
     t.add_row("matrix format conversion (once)", f"{convert_s * 1e3:.1f}", "ms")
+    for s in sorted((s for s in spans if s.parent == root.id),
+                    key=lambda s: s.start):
+        stage = s.name.removeprefix("build.")
+        t.add_row(f"  conversion: {stage}", f"{s.seconds * 1e3:.1f}", "ms")
     t.add_row("SpMV iteration, CSCV-Z (reorder+compute)", f"{t_z * 1e3:.3f}", "ms")
     t.add_row("SpMV iteration, CSCV-M (reorder+expand+compute)", f"{t_m * 1e3:.3f}", "ms")
     t.add_row("SpMV iteration, vendor CSR baseline", f"{t_mkl * 1e3:.3f}", "ms")
@@ -63,11 +84,10 @@ def stage_times(dataset: str = QUICK_DATASET, dtype=np.float32) -> dict[str, flo
     """Machine-readable stage times (used by tests)."""
     params = CSCVParams(s_vvec=16, s_imgb=16, s_vxg=2)
     coo, geom = get_dataset(dataset).load(dtype=dtype)
-    timer = Timer()
-    with timer.lap("convert"):
-        data = build_cscv(coo.rows, coo.cols, coo.vals, geom, params, dtype)
+    data, spans = _traced_build(coo, geom, params, dtype)
     z = CSCVZMatrix(data)
     x = np.ones(coo.shape[1], dtype=dtype)
     y = np.zeros(coo.shape[0], dtype=dtype)
     t_iter = min_time(lambda: z.spmv_into(x, y), iterations=10, max_seconds=1)
-    return {"convert": timer.laps["convert"], "iteration": t_iter}
+    convert_s = next(s for s in spans if s.name == "build.cscv").seconds
+    return {"convert": convert_s, "iteration": t_iter}

@@ -19,13 +19,18 @@ from repro.errors import ValidationError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
 from repro.sparse.coo import COOMatrix
 from repro.sparse.matrix_base import SpMVFormat
+from repro.obs.trace import span
 from repro.sparse.stats import memory_requirement
-from repro.utils.timing import gflops, min_time
+from repro.utils.timing import gflops, min_time, time_stats
 
 
 @dataclass
 class PerfRecord:
-    """One (format, matrix) measurement."""
+    """One (format, matrix) measurement.
+
+    ``seconds`` (the min) stays the headline number per the paper's
+    protocol; ``mean/std/p50`` expose run-to-run noise.
+    """
 
     format_name: str
     dtype: str
@@ -34,12 +39,21 @@ class PerfRecord:
     m_rit_bytes: float
     bw_gbs: float  # achieved effective traffic rate
     nnz: int
+    mean_seconds: float = 0.0
+    std_seconds: float = 0.0
+    p50_seconds: float = 0.0
+    timed_iterations: int = 0
 
     def r_em(self, peak_bw_gbs: float) -> float:
         """Effective bandwidth usage ratio against *peak_bw_gbs*."""
         if peak_bw_gbs <= 0:
             raise ValidationError("peak bandwidth must be positive")
         return self.bw_gbs / peak_bw_gbs
+
+    @property
+    def noise(self) -> float:
+        """Relative run-to-run spread, ``std / mean`` (0 when unknown)."""
+        return self.std_seconds / self.mean_seconds if self.mean_seconds else 0.0
 
 
 def measure_format(
@@ -56,7 +70,16 @@ def measure_format(
     else:
         x = np.asarray(x, dtype=fmt.dtype)
     y = np.zeros(m, dtype=fmt.dtype)
-    t = min_time(lambda: fmt.spmv_into(x, y), iterations=iterations, max_seconds=max_seconds)
+    with span("bench.measure", format=fmt.name, dtype=str(fmt.dtype),
+              nnz=fmt.nnz) as meas_span:
+        stats = time_stats(
+            lambda: fmt.spmv_into(x, y),
+            iterations=iterations,
+            max_seconds=max_seconds,
+        )
+        meas_span.set(min_ms=stats.min * 1e3, mean_ms=stats.mean * 1e3,
+                      iterations=stats.iterations)
+    t = stats.min
     mem = memory_requirement(fmt)
     return PerfRecord(
         format_name=fmt.name,
@@ -66,6 +89,10 @@ def measure_format(
         m_rit_bytes=mem["M_rit"],
         bw_gbs=mem["M_rit"] / t / 1e9,
         nnz=fmt.nnz,
+        mean_seconds=stats.mean,
+        std_seconds=stats.std,
+        p50_seconds=stats.p50,
+        timed_iterations=stats.iterations,
     )
 
 

@@ -8,6 +8,11 @@ Commands
 ``reconstruct``  run an iterative solver on a phantom, report quality
 ``experiment``   regenerate one of the paper's tables/figures
 ``calibrate``    measure this host and validate the performance model
+``trace``        render a JSONL trace (or this process's spans) as a report
+``metrics``      dump the metrics registry in Prometheus text format
+
+Set ``REPRO_TRACE=1`` (or ``REPRO_TRACE=/path/to.jsonl``) to record spans
+during any command and dump them as JSON lines on exit.
 """
 
 from __future__ import annotations
@@ -19,13 +24,19 @@ import numpy as np
 
 
 def _cmd_info(args) -> int:
-    from repro import __version__, available_formats
+    from repro import __version__, available_formats, obs
     from repro.bench.datasets import DATASETS
     from repro.kernels import dispatch
 
+    st = obs.status()
     print(f"repro {__version__}")
     print(f"backend in use : {dispatch.backend_in_use()}")
     print(f"omp max threads: {dispatch.omp_threads()}")
+    print(f"tracing        : {'on' if st['tracing'] else 'off'} "
+          f"(REPRO_TRACE; exporter: jsonl -> {st['trace_path']})")
+    print(f"metrics        : {'on' if st['metrics'] else 'off'} "
+          f"({st['metrics_registered']} instruments registered)")
+    print(f"profiling      : {'on' if st['profiling'] else 'off'} (REPRO_PROFILE)")
     print(f"formats        : {', '.join(available_formats())}")
     print("datasets       :")
     for name, ds in DATASETS.items():
@@ -48,10 +59,12 @@ def _cmd_spmv(args) -> int:
     params = CSCVParams(args.s_vvec, args.s_imgb, args.s_vxg)
     records = run_suite(coo, geom, names, dtype=dtype, params=params,
                         iterations=args.iterations)
-    t = Table(headers=["format", "GFLOP/s", "ms", "BW GB/s"], fmt=".2f",
+    t = Table(headers=["format", "GFLOP/s", "min ms", "mean ms", "p50 ms",
+                       "noise", "BW GB/s"], fmt=".2f",
               title=f"{args.dataset} ({np.dtype(dtype)}, nnz {coo.nnz:,})")
     for r in records:
-        t.add_row(r.format_name, r.gflops, r.seconds * 1e3, r.bw_gbs)
+        t.add_row(r.format_name, r.gflops, r.seconds * 1e3, r.mean_seconds * 1e3,
+                  r.p50_seconds * 1e3, f"{r.noise:.1%}", r.bw_gbs)
     t.mark_extremes(1)
     print(t.render())
     return 0
@@ -97,7 +110,10 @@ def _cmd_reconstruct(args) -> int:
     if args.solver not in solvers:
         print(f"unknown solver {args.solver}; options {sorted(solvers)}", file=sys.stderr)
         return 2
-    x = solvers[args.solver]()
+    from repro.obs import profiled
+
+    with profiled(f"reconstruct.{args.solver}"):
+        x = solvers[args.solver]()
     print(f"{args.solver} on {args.size}^2 Shepp-Logan: "
           f"relative error {relative_error(x, truth):.4f}")
     return 0
@@ -116,6 +132,45 @@ def _cmd_calibrate(args) -> int:
 
     machine = calibrate_host()
     print(validation_report(machine))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+
+    if args.file:
+        import json
+
+        try:
+            spans = obs.load_jsonl(args.file)
+        except FileNotFoundError:
+            print(f"error: no such trace file: {args.file}", file=sys.stderr)
+            return 2
+        except (json.JSONDecodeError, KeyError) as exc:
+            print(f"error: {args.file} is not a JSONL trace: {exc}",
+                  file=sys.stderr)
+            return 2
+        report = (obs.stage_summary(spans) if args.aggregate
+                  else obs.span_tree_report(spans))
+        print(report)
+        return 0
+    # no file: report whatever this process recorded (plus metrics)
+    print(obs.trace_report(aggregate=args.aggregate))
+    if args.metrics:
+        print()
+        print(obs.prometheus_text(obs.registry))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro import obs
+
+    text = obs.prometheus_text(obs.registry)
+    if not text:
+        print("(no metrics recorded in this process; metrics are "
+              "process-wide — see `repro trace`)", file=sys.stderr)
+        return 0
+    print(text, end="")
     return 0
 
 
@@ -152,6 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("name", help="table1..table4, fig1..fig11")
 
     sub.add_parser("calibrate", help="calibrate the host performance model")
+
+    tr = sub.add_parser("trace", help="render a JSONL trace as a stage report")
+    tr.add_argument("file", nargs="?", default="",
+                    help="trace file (default: this process's spans)")
+    tr.add_argument("--aggregate", action="store_true",
+                    help="aggregate wall-clock by span name (Fig-7 style)")
+    tr.add_argument("--metrics", action="store_true",
+                    help="also print the Prometheus metrics text")
+
+    sub.add_parser("metrics", help="dump the metrics registry (Prometheus text)")
     return p
 
 
@@ -162,13 +227,35 @@ _COMMANDS = {
     "reconstruct": _cmd_reconstruct,
     "experiment": _cmd_experiment,
     "calibrate": _cmd_calibrate,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Honours ``REPRO_TRACE``: when set, spans recorded during the command
+    are dumped as JSON lines on exit and the path is printed to stderr.
+    """
+    from repro import obs
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    tracing = obs.init_from_env()
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); not an error
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    finally:
+        if tracing and args.command not in ("trace", "metrics"):
+            spans = obs.tracer.finished()
+            if spans:
+                path = obs.dump_trace()
+                print(f"[obs] {len(spans)} spans -> {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

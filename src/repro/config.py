@@ -18,6 +18,13 @@ Environment variables
     ``~/.cache/repro-kernels``).
 ``REPRO_THREADS``
     Default thread count for multi-threaded SpMV (default: CPU count).
+``REPRO_TRACE``
+    ``0`` (default) disables tracing; ``1`` enables span recording with
+    the default JSONL dump path; any other value enables tracing and is
+    used as the dump path.  See :mod:`repro.obs`.
+``REPRO_PROFILE``
+    ``1`` prints cProfile summaries of profiled regions to stderr; a
+    path accumulates binary pstats there.  See :mod:`repro.obs.profile`.
 """
 
 from __future__ import annotations
@@ -65,6 +72,16 @@ def env_threads() -> int:
     return os.cpu_count() or 1
 
 
+def env_trace() -> tuple[bool, str | None]:
+    """Interpret ``REPRO_TRACE``: (enabled, explicit dump path or None)."""
+    raw = os.environ.get("REPRO_TRACE", "").strip()
+    if raw.lower() in ("", "0", "false", "no", "off"):
+        return False, None
+    if raw.lower() in ("1", "true", "yes", "on"):
+        return True, None
+    return True, raw
+
+
 def cache_dir() -> str:
     """Directory where compiled kernels are cached."""
     default = os.path.join(os.path.expanduser("~"), ".cache", "repro-kernels")
@@ -79,6 +96,12 @@ class RuntimeConfig:
     threads: int = field(default_factory=env_threads)
     #: When True, CSCV builders double-check permutations and paddings.
     paranoid_checks: bool = False
+    #: Span tracing requested (seeded from ``REPRO_TRACE``); the live
+    #: switch is ``repro.obs.tracer.enabled`` — use ``repro.obs.enable()``
+    #: / ``disable()`` to flip both coherently.
+    trace: bool = field(default_factory=lambda: env_trace()[0])
+    #: Explicit JSONL dump path from ``REPRO_TRACE``, or None for default.
+    trace_path: str | None = field(default_factory=lambda: env_trace()[1])
 
 
 #: Singleton runtime configuration.

@@ -31,6 +31,9 @@ from repro.core.blocks import BlockGrid
 from repro.core.params import CSCVParams
 from repro.errors import FormatError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
+from repro.obs import metrics as obs_metrics
+from repro.obs.profile import profiled
+from repro.obs.trace import span
 
 
 @dataclass
@@ -155,147 +158,160 @@ def build_cscv(
 
     if reference_mode not in ("ioblr", "btb"):
         raise FormatError(f"unknown reference_mode {reference_mode!r}")
-    grid = BlockGrid(geom, params)
-    block_id, lane, bin_, tile = grid.classify(rows, cols)
-    refb = grid.reference_bins()                     # (views, tiles)
-    if reference_mode == "btb":
-        # view-major ablation: one constant reference per (group, tile)
-        refb = refb.copy()
-        for g in range(grid.num_view_groups):
-            v0 = g * s_vvec
-            v1 = min(v0 + s_vvec, geom.num_views)
-            refb[v0:v1] = refb[v0:v1].min(axis=0)
-    v = rows // geom.num_bins
-    d = bin_ - refb[v, tile]
+    with span("build.cscv", nnz=nnz, reference_mode=reference_mode,
+              s_vvec=s_vvec, s_imgb=params.s_imgb,
+              s_vxg=s_vxg) as build_span, profiled("build.cscv"):
+        with span("build.trajectory"):
+            grid = BlockGrid(geom, params)
+            block_id, lane, bin_, tile = grid.classify(rows, cols)
+            refb = grid.reference_bins()                 # (views, tiles)
+            if reference_mode == "btb":
+                # view-major ablation: one constant reference per (group, tile)
+                refb = refb.copy()
+                for g in range(grid.num_view_groups):
+                    v0 = g * s_vvec
+                    v1 = min(v0 + s_vvec, geom.num_views)
+                    refb[v0:v1] = refb[v0:v1].min(axis=0)
+        with span("build.ioblr"):
+            v = rows // geom.num_bins
+            d = bin_ - refb[v, tile]
 
-    # ------------------------------------------------------------------ #
-    # sort by (block, col, d, lane); build CSCVE ids
-    d_shift = d - d.min()
-    d_span = int(d_shift.max()) + 1
-    col_key = block_id * geom.num_pixels + cols       # unique per (block,col)
-    e_key = col_key * d_span + d_shift                # unique per CSCVE
-    full_key = e_key * s_vvec + lane
-    if np.log2(float(grid.num_blocks)) + np.log2(float(geom.num_pixels)) + np.log2(
-        float(d_span)
-    ) + np.log2(float(s_vvec)) > 62:
-        raise FormatError("matrix too large for int64 CSCV sort keys")
-    order = np.argsort(full_key, kind="stable")
-    e_key_s = e_key[order]
-    col_key_s = col_key[order]
-    block_s = block_id[order]
-    d_s = d[order]
-    lane_s = lane[order]
-    vals_s = vals[order]
+        # -------------------------------------------------------------- #
+        # sort by (block, col, d, lane); build CSCVE ids
+        with span("build.cscve"):
+            d_shift = d - d.min()
+            d_span = int(d_shift.max()) + 1
+            col_key = block_id * geom.num_pixels + cols   # unique per (block,col)
+            e_key = col_key * d_span + d_shift            # unique per CSCVE
+            full_key = e_key * s_vvec + lane
+            if np.log2(float(grid.num_blocks)) + np.log2(
+                float(geom.num_pixels)
+            ) + np.log2(float(d_span)) + np.log2(float(s_vvec)) > 62:
+                raise FormatError("matrix too large for int64 CSCV sort keys")
+            order = np.argsort(full_key, kind="stable")
+            e_key_s = e_key[order]
+            col_key_s = col_key[order]
+            block_s = block_id[order]
+            d_s = d[order]
+            lane_s = lane[order]
+            vals_s = vals[order]
 
-    # CSCVE boundaries (sorted, so equal keys are adjacent)
-    is_new_e = np.empty(nnz, dtype=bool)
-    is_new_e[0] = True
-    np.not_equal(e_key_s[1:], e_key_s[:-1], out=is_new_e[1:])
-    e_starts = np.flatnonzero(is_new_e)
-    num_e = e_starts.size
-    e_of_nnz = np.cumsum(is_new_e) - 1
+            # CSCVE boundaries (sorted, so equal keys are adjacent)
+            is_new_e = np.empty(nnz, dtype=bool)
+            is_new_e[0] = True
+            np.not_equal(e_key_s[1:], e_key_s[:-1], out=is_new_e[1:])
+            e_starts = np.flatnonzero(is_new_e)
+            num_e = e_starts.size
+            e_of_nnz = np.cumsum(is_new_e) - 1
 
-    e_block = block_s[e_starts]
-    e_colkey = col_key_s[e_starts]
-    e_col_global = (e_colkey % geom.num_pixels).astype(np.int64)
-    e_d = d_s[e_starts]
+            e_block = block_s[e_starts]
+            e_colkey = col_key_s[e_starts]
+            e_col_global = (e_colkey % geom.num_pixels).astype(np.int64)
+            e_d = d_s[e_starts]
 
-    # duplicate (cscve, lane) pairs would mean duplicated COO entries
-    if np.any((np.diff(e_of_nnz) == 0) & (np.diff(lane_s) == 0)):
-        raise FormatError("duplicate (row, col) entries; coalesce the COO first")
+            # duplicate (cscve, lane) pairs would mean duplicated COO entries
+            if np.any((np.diff(e_of_nnz) == 0) & (np.diff(lane_s) == 0)):
+                raise FormatError(
+                    "duplicate (row, col) entries; coalesce the COO first"
+                )
 
-    # ------------------------------------------------------------------ #
-    # column groups over the CSCVE array; anchored VxG windows
-    is_new_c = np.empty(num_e, dtype=bool)
-    is_new_c[0] = True
-    np.not_equal(e_colkey[1:], e_colkey[:-1], out=is_new_c[1:])
-    c_starts = np.flatnonzero(is_new_c)
-    c_sizes = np.diff(np.append(c_starts, num_e))
-    # within a column CSCVEs are d-ascending, so the group's first d is min
-    d_anchor = np.repeat(e_d[c_starts], c_sizes)
-    w = (e_d - d_anchor) // s_vxg                     # window per CSCVE
+        # -------------------------------------------------------------- #
+        # column groups over the CSCVE array; anchored VxG windows
+        with span("build.vxg"):
+            is_new_c = np.empty(num_e, dtype=bool)
+            is_new_c[0] = True
+            np.not_equal(e_colkey[1:], e_colkey[:-1], out=is_new_c[1:])
+            c_starts = np.flatnonzero(is_new_c)
+            c_sizes = np.diff(np.append(c_starts, num_e))
+            # within a column CSCVEs are d-ascending, so first d is min
+            d_anchor = np.repeat(e_d[c_starts], c_sizes)
+            w = (e_d - d_anchor) // s_vxg                 # window per CSCVE
 
-    is_new_g = is_new_c.copy()
-    is_new_g[1:] |= w[1:] != w[:-1]
-    g_starts = np.flatnonzero(is_new_g)
-    num_g = g_starts.size
-    g_of_e = np.cumsum(is_new_g) - 1
+            is_new_g = is_new_c.copy()
+            is_new_g[1:] |= w[1:] != w[:-1]
+            g_starts = np.flatnonzero(is_new_g)
+            num_g = g_starts.size
+            g_of_e = np.cumsum(is_new_g) - 1
 
-    g_block = e_block[g_starts]
-    g_col = e_col_global[g_starts]
-    g_window_d = d_anchor[g_starts] + w[g_starts] * s_vxg  # first offset
+            g_block = e_block[g_starts]
+            g_col = e_col_global[g_starts]
+            g_window_d = d_anchor[g_starts] + w[g_starts] * s_vxg  # first offset
 
-    # ------------------------------------------------------------------ #
-    # present blocks, ranges and ytilde geometry
-    is_new_b = np.empty(num_g, dtype=bool)
-    is_new_b[0] = True
-    np.not_equal(g_block[1:], g_block[:-1], out=is_new_b[1:])
-    b_starts_g = np.flatnonzero(is_new_b)
-    present_blocks = g_block[b_starts_g]
-    num_b = present_blocks.size
-    blk_vxg_ptr = np.append(b_starts_g, num_g).astype(np.int64)
+            # present blocks, ranges and ytilde geometry
+            is_new_b = np.empty(num_g, dtype=bool)
+            is_new_b[0] = True
+            np.not_equal(g_block[1:], g_block[:-1], out=is_new_b[1:])
+            b_starts_g = np.flatnonzero(is_new_b)
+            present_blocks = g_block[b_starts_g]
+            num_b = present_blocks.size
+            blk_vxg_ptr = np.append(b_starts_g, num_g).astype(np.int64)
 
-    # block ranges over the nonzero array (same ordering: block-major)
-    is_new_b_nnz = np.empty(nnz, dtype=bool)
-    is_new_b_nnz[0] = True
-    np.not_equal(block_s[1:], block_s[:-1], out=is_new_b_nnz[1:])
-    b_starts_nnz = np.flatnonzero(is_new_b_nnz)
-    blk_dmin = np.minimum.reduceat(d_s, b_starts_nnz)
+            # block ranges over the nonzero array (same ordering: block-major)
+            is_new_b_nnz = np.empty(nnz, dtype=bool)
+            is_new_b_nnz[0] = True
+            np.not_equal(block_s[1:], block_s[:-1], out=is_new_b_nnz[1:])
+            b_starts_nnz = np.flatnonzero(is_new_b_nnz)
+            blk_dmin = np.minimum.reduceat(d_s, b_starts_nnz)
 
-    # VxG overhang can extend past the largest nonzero offset
-    g_window_end = g_window_d + s_vxg - 1
-    blk_dmax = np.maximum.reduceat(g_window_end, b_starts_g)
-    blk_ysize = (blk_dmax - blk_dmin + 1) * s_vvec
+            # VxG overhang can extend past the largest nonzero offset
+            g_window_end = g_window_d + s_vxg - 1
+            blk_dmax = np.maximum.reduceat(g_window_end, b_starts_g)
+            blk_ysize = (blk_dmax - blk_dmin + 1) * s_vvec
 
-    # block ranges over the CSCVE array
-    is_new_b_e = np.empty(num_e, dtype=bool)
-    is_new_b_e[0] = True
-    np.not_equal(e_block[1:], e_block[:-1], out=is_new_b_e[1:])
-    blk_e_ptr = np.append(np.flatnonzero(is_new_b_e), num_e).astype(np.int64)
+            # block ranges over the CSCVE array
+            is_new_b_e = np.empty(num_e, dtype=bool)
+            is_new_b_e[0] = True
+            np.not_equal(e_block[1:], e_block[:-1], out=is_new_b_e[1:])
+            blk_e_ptr = np.append(np.flatnonzero(is_new_b_e), num_e).astype(np.int64)
 
-    # ------------------------------------------------------------------ #
-    # value placement
-    b_of_g = np.cumsum(is_new_b) - 1                  # block index per VxG
-    b_of_e = b_of_g[g_of_e]
-    b_of_nnz = b_of_e[e_of_nnz]
+            # value placement
+            b_of_g = np.cumsum(is_new_b) - 1              # block index per VxG
+            b_of_e = b_of_g[g_of_e]
+            b_of_nnz = b_of_e[e_of_nnz]
 
-    vxg_start = ((g_window_d - blk_dmin[b_of_g]) * s_vvec).astype(INDEX_DTYPE)
-    e_start = ((e_d - blk_dmin[b_of_e]) * s_vvec).astype(INDEX_DTYPE)
+            vxg_start = ((g_window_d - blk_dmin[b_of_g]) * s_vvec).astype(INDEX_DTYPE)
+            e_start = ((e_d - blk_dmin[b_of_e]) * s_vvec).astype(INDEX_DTYPE)
 
-    values = np.zeros(num_g * vxg_len, dtype=dtype)
-    e_local = e_d - g_window_d[g_of_e]                # CSCVE index in window
-    slot = g_of_e[e_of_nnz] * vxg_len + e_local[e_of_nnz] * s_vvec + lane_s
-    values[slot] = vals_s
+            values = np.zeros(num_g * vxg_len, dtype=dtype)
+            e_local = e_d - g_window_d[g_of_e]            # CSCVE index in window
+            slot = g_of_e[e_of_nnz] * vxg_len + e_local[e_of_nnz] * s_vvec + lane_s
+            values[slot] = vals_s
 
-    # CSCV-M: masks + packed values (vals_s is already CSCVE/lane ordered)
-    bits = (np.uint32(1) << lane_s.astype(np.uint32)).astype(np.uint32)
-    masks = np.bitwise_or.reduceat(bits, e_starts).astype(np.uint32)
-    voff = np.append(e_starts, nnz).astype(np.int64)
+            # CSCV-M: masks + packed values (vals_s is CSCVE/lane ordered)
+            bits = (np.uint32(1) << lane_s.astype(np.uint32)).astype(np.uint32)
+            masks = np.bitwise_or.reduceat(bits, e_starts).astype(np.uint32)
+            voff = np.append(e_starts, nnz).astype(np.int64)
 
-    # VxG-aligned mask grid + per-VxG packed offsets (the M kernel's view:
-    # one (col, start, voff) triple per VxG, s_vxg masks, empty slots = 0)
-    vxg_masks = np.zeros(num_g * s_vxg, dtype=np.uint32)
-    vxg_masks[g_of_e * s_vxg + e_local] = masks
-    vxg_voff = voff[g_starts]
+            # VxG-aligned mask grid + per-VxG packed offsets (the M kernel's
+            # view: one (col, start, voff) triple per VxG, s_vxg masks,
+            # empty slots = 0)
+            vxg_masks = np.zeros(num_g * s_vxg, dtype=np.uint32)
+            vxg_masks[g_of_e * s_vxg + e_local] = masks
+            vxg_voff = voff[g_starts]
 
-    # ------------------------------------------------------------------ #
-    # ytilde -> global row maps
-    blk_map_ptr = np.zeros(num_b + 1, dtype=np.int64)
-    np.cumsum(blk_ysize, out=blk_map_ptr[1:])
-    total_slots = int(blk_map_ptr[-1])
-    slot_block = np.repeat(np.arange(num_b), blk_ysize)
-    slot_pos = np.arange(total_slots) - blk_map_ptr[slot_block]
-    slot_lane = slot_pos % s_vvec
-    slot_d = blk_dmin[slot_block] + slot_pos // s_vvec
+        # -------------------------------------------------------------- #
+        # ytilde -> global row maps
+        with span("build.ymap"):
+            blk_map_ptr = np.zeros(num_b + 1, dtype=np.int64)
+            np.cumsum(blk_ysize, out=blk_map_ptr[1:])
+            total_slots = int(blk_map_ptr[-1])
+            slot_block = np.repeat(np.arange(num_b), blk_ysize)
+            slot_pos = np.arange(total_slots) - blk_map_ptr[slot_block]
+            slot_lane = slot_pos % s_vvec
+            slot_d = blk_dmin[slot_block] + slot_pos // s_vvec
 
-    group_of_block = present_blocks // grid.num_img_blocks
-    tile_of_block = present_blocks % grid.num_img_blocks
-    slot_view = group_of_block[slot_block] * s_vvec + slot_lane
-    view_ok = slot_view < geom.num_views
-    slot_view_c = np.minimum(slot_view, geom.num_views - 1)
-    slot_bin = refb[slot_view_c, tile_of_block[slot_block]] + slot_d
-    valid = view_ok & (slot_bin >= 0) & (slot_bin < geom.num_bins)
-    ymap = np.where(valid, slot_view * geom.num_bins + slot_bin, -1).astype(np.int32)
+            group_of_block = present_blocks // grid.num_img_blocks
+            tile_of_block = present_blocks % grid.num_img_blocks
+            slot_view = group_of_block[slot_block] * s_vvec + slot_lane
+            view_ok = slot_view < geom.num_views
+            slot_view_c = np.minimum(slot_view, geom.num_views - 1)
+            slot_bin = refb[slot_view_c, tile_of_block[slot_block]] + slot_d
+            valid = view_ok & (slot_bin >= 0) & (slot_bin < geom.num_bins)
+            ymap = np.where(
+                valid, slot_view * geom.num_bins + slot_bin, -1
+            ).astype(np.int32)
+
+        build_span.set(num_cscve=num_e, num_vxg=num_g, num_blocks=num_b)
 
     data = CSCVData(
         shape=shape,
@@ -320,6 +336,14 @@ def build_cscv(
         present_blocks=present_blocks.astype(np.int64),
     )
     _validate(data)
+    obs_metrics.counter("build.calls", "CSCV conversions performed").inc()
+    obs_metrics.histogram(
+        "build.r_nnze", "zero-padding rate per built matrix",
+        buckets=(0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4),
+    ).observe(data.r_nnze)
+    obs_metrics.gauge(
+        "build.vxg_fill", "fraction of CSCV-Z value slots that are real nonzeros"
+    ).set(data.nnz / data.stored_slots if data.stored_slots else 1.0)
     return data
 
 

@@ -22,6 +22,16 @@ import numpy as np
 from repro import config
 from repro.core.builder import CSCVData
 from repro.kernels import dispatch
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+
+
+def _count_call(variant: str, backend: str) -> None:
+    """Per-(variant, backend) SpMV call counters (cscv_z/c, cscv_m/flat...)."""
+    obs_metrics.counter(
+        f"spmv.calls.{variant}.{backend}",
+        "SpMV executions by CSCV variant and execution backend",
+    ).inc()
 
 
 def resolve_flat_rows_z(data: CSCVData) -> np.ndarray:
@@ -71,28 +81,37 @@ def spmv_z(data: CSCVData, x: np.ndarray, y: np.ndarray, *, threads: int | None 
         return y
     fn = dispatch.get("cscv_z_spmv", data.dtype)
     if fn is not None:
-        fn(
-            data.shape[0],
-            data.num_blocks,
-            data.blk_vxg_ptr,
-            data.vxg_col,
-            data.vxg_start,
-            data.values,
-            data.params.vxg_len,
-            data.blk_ysize,
-            data.blk_map_ptr,
-            data.ymap,
-            x,
-            y,
-            data.max_ysize,
-            int(threads),
-        )
+        with span("spmv.z", backend="c", nnz=data.nnz,
+                  blocks=data.num_blocks, threads=int(threads)):
+            fn(
+                data.shape[0],
+                data.num_blocks,
+                data.blk_vxg_ptr,
+                data.vxg_col,
+                data.vxg_start,
+                data.values,
+                data.params.vxg_len,
+                data.blk_ysize,
+                data.blk_map_ptr,
+                data.ymap,
+                x,
+                y,
+                data.max_ysize,
+                int(threads),
+            )
+        _count_call("z", "c")
         return y
     rows = flat_rows if flat_rows is not None else resolve_flat_rows_z(data)
     if threads <= 1 or data.num_blocks < 2 * threads:
-        _accumulate_z(data, x, y, rows, 0, data.num_blocks)
+        with span("spmv.z", backend="flat", nnz=data.nnz, blocks=data.num_blocks):
+            _accumulate_z(data, x, y, rows, 0, data.num_blocks)
+        _count_call("z", "flat")
         return y
-    return _threaded(data, x, y, rows, threads, _accumulate_z)
+    with span("spmv.z", backend="threaded", nnz=data.nnz,
+              blocks=data.num_blocks, threads=int(threads)):
+        _threaded(data, x, y, rows, threads, _accumulate_z)
+    _count_call("z", "threaded")
+    return y
 
 
 def _accumulate_z(data, x, y, rows, b0, b1):
@@ -118,31 +137,40 @@ def spmv_m(data: CSCVData, x: np.ndarray, y: np.ndarray, *, threads: int | None 
         return y
     fn = dispatch.get("cscv_m_spmv", data.dtype)
     if fn is not None:
-        fn(
-            data.shape[0],
-            data.num_blocks,
-            data.blk_vxg_ptr,
-            data.vxg_col,
-            data.vxg_start,
-            data.vxg_voff,
-            data.vxg_masks,
-            data.packed,
-            data.params.s_vxg,
-            data.params.s_vvec,
-            data.blk_ysize,
-            data.blk_map_ptr,
-            data.ymap,
-            x,
-            y,
-            data.max_ysize,
-            int(threads),
-        )
+        with span("spmv.m", backend="c", nnz=data.nnz,
+                  blocks=data.num_blocks, threads=int(threads)):
+            fn(
+                data.shape[0],
+                data.num_blocks,
+                data.blk_vxg_ptr,
+                data.vxg_col,
+                data.vxg_start,
+                data.vxg_voff,
+                data.vxg_masks,
+                data.packed,
+                data.params.s_vxg,
+                data.params.s_vvec,
+                data.blk_ysize,
+                data.blk_map_ptr,
+                data.ymap,
+                x,
+                y,
+                data.max_ysize,
+                int(threads),
+            )
+        _count_call("m", "c")
         return y
     rows = flat_rows if flat_rows is not None else resolve_flat_rows_m(data)
     if threads <= 1 or data.num_blocks < 2 * threads:
-        _accumulate_m(data, x, y, rows, 0, data.num_blocks)
+        with span("spmv.m", backend="flat", nnz=data.nnz, blocks=data.num_blocks):
+            _accumulate_m(data, x, y, rows, 0, data.num_blocks)
+        _count_call("m", "flat")
         return y
-    return _threaded(data, x, y, rows, threads, _accumulate_m)
+    with span("spmv.m", backend="threaded", nnz=data.nnz,
+              blocks=data.num_blocks, threads=int(threads)):
+        _threaded(data, x, y, rows, threads, _accumulate_m)
+    _count_call("m", "threaded")
+    return y
 
 
 def _accumulate_m(data, x, y, rows, b0, b1):
@@ -168,7 +196,8 @@ def _threaded(data, x, y, rows, threads, accumulate):
 
     def work(idx: int):
         b0, b1 = ranges[idx]
-        accumulate(data, x, partials[idx], rows, b0, b1)
+        with span("spmv.block_range", b0=b0, b1=b1):
+            accumulate(data, x, partials[idx], rows, b0, b1)
 
     with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
         list(pool.map(work, range(len(ranges))))

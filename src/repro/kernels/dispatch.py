@@ -13,9 +13,20 @@ import numpy as np
 from repro import config
 
 
+def _count(outcome: str, name: str) -> None:
+    """Backend-choice counters: ``dispatch.hit.*`` vs ``dispatch.fallback.*``."""
+    from repro.obs import metrics as obs_metrics
+
+    obs_metrics.counter(
+        f"dispatch.{outcome}.{name}",
+        "kernel dispatch outcomes (hit = compiled C, fallback = NumPy)",
+    ).inc()
+
+
 def get(name: str, dtype) -> object | None:
     """C kernel callable for *name*/*dtype*, or ``None`` for NumPy fallback."""
     if config.runtime.backend == "numpy":
+        _count("fallback", name)
         return None
     from repro.kernels.cbindings import load_library
 
@@ -27,13 +38,17 @@ def get(name: str, dtype) -> object | None:
             raise KernelError(
                 "REPRO_BACKEND=c requested but the kernel library is unavailable"
             )
+        _count("fallback", name)
         return None
     try:
-        return lib.get(name, dtype)
+        fn = lib.get(name, dtype)
     except Exception:
         if config.runtime.backend == "c":
             raise
+        _count("fallback", name)
         return None
+    _count("hit" if fn is not None else "fallback", name)
+    return fn
 
 
 def backend_in_use(dtype=np.float64) -> str:

@@ -1,0 +1,199 @@
+"""Exporters: JSON-lines traces, Prometheus text, human stage reports.
+
+Three consumers, three shapes:
+
+* **JSON lines** — one span per line, machine-readable, replayable
+  (``load_jsonl`` round-trips what ``dump_jsonl`` wrote);
+* **Prometheus text** — the registry in the standard exposition format
+  (dots in metric names become underscores);
+* **stage report** — the ``repro trace`` CLI view: the span tree with
+  wall-clock, call counts and attributes, plus an aggregated by-name
+  table — Fig 7's pipeline breakdown for any traced run.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import defaultdict
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+__all__ = [
+    "dump_jsonl",
+    "load_jsonl",
+    "prometheus_text",
+    "span_tree_report",
+    "stage_summary",
+]
+
+
+# ---------------------------------------------------------------------- #
+# JSON lines
+
+def span_to_dict(s: Span) -> dict:
+    """Plain-data form of one span (what lands on each JSONL line)."""
+    return {
+        "name": s.name,
+        "start": s.start,
+        "end": s.end,
+        "seconds": s.seconds,
+        "id": s.id,
+        "parent": s.parent,
+        "depth": s.depth,
+        "thread": s.thread,
+        "attrs": _jsonable(s.attrs),
+    }
+
+
+def _jsonable(attrs: dict) -> dict:
+    out = {}
+    for k, v in attrs.items():
+        if hasattr(v, "item") and getattr(v, "ndim", 0) == 0:  # numpy scalar
+            v = v.item()
+        elif not isinstance(v, (str, int, float, bool, type(None))):
+            v = str(v)
+        out[k] = v
+    return out
+
+
+def dump_jsonl(spans: list[Span], path_or_file) -> int:
+    """Write spans as JSON lines; returns the number of lines written."""
+    if hasattr(path_or_file, "write"):
+        for s in spans:
+            path_or_file.write(json.dumps(span_to_dict(s)) + "\n")
+        return len(spans)
+    with open(path_or_file, "w", encoding="utf-8") as fh:
+        return dump_jsonl(spans, fh)
+
+
+def load_jsonl(path_or_file) -> list[Span]:
+    """Parse a JSONL trace back into :class:`Span` objects."""
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file.read().splitlines()
+    else:
+        with open(path_or_file, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    spans = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        d = json.loads(line)
+        spans.append(
+            Span(
+                name=d["name"],
+                start=d["start"],
+                end=d["end"],
+                id=d.get("id", -1),
+                parent=d.get("parent", -1),
+                depth=d.get("depth", 0),
+                thread=d.get("thread", 0),
+                attrs=d.get("attrs", {}),
+            )
+        )
+    return spans
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    name = _NAME_RE.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render the registry in the Prometheus exposition format."""
+    lines = []
+    for name, snap in registry.snapshot().items():
+        full = _prom_name(f"{prefix}_{name}" if prefix else name)
+        kind = snap["type"]
+        lines.append(f"# TYPE {full} {kind}")
+        if kind == "histogram":
+            acc = 0
+            for ub, c in zip(snap["buckets"], snap["counts"]):
+                acc += c
+                lines.append(f'{full}_bucket{{le="{ub}"}} {acc}')
+            acc += snap["counts"][-1]
+            lines.append(f'{full}_bucket{{le="+Inf"}} {acc}')
+            lines.append(f"{full}_sum {snap['sum']}")
+            lines.append(f"{full}_count {snap['count']}")
+        else:
+            lines.append(f"{full} {snap['value']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------- #
+# human report
+
+def _fmt_attrs(attrs: dict, limit: int = 4) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for k, v in list(attrs.items())[:limit]:
+        if isinstance(v, float):
+            v = f"{v:.4g}"
+        parts.append(f"{k}={v}")
+    if len(attrs) > limit:
+        parts.append("...")
+    return "  [" + " ".join(parts) + "]"
+
+
+def span_tree_report(spans: list[Span], *, max_children: int = 12) -> str:
+    """Indented tree of spans with durations (the ``repro trace`` view).
+
+    Sibling runs longer than *max_children* are elided with a count so a
+    100-iteration solve doesn't print 100 lines.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    children: dict[int, list[Span]] = defaultdict(list)
+    for s in spans:
+        children[s.parent].append(s)
+    for sibs in children.values():
+        sibs.sort(key=lambda s: s.start)
+    lines = []
+
+    def emit(s: Span, indent: int) -> None:
+        pad = "  " * indent
+        lines.append(f"{pad}{s.name:<{max(1, 28 - 2 * indent)}s} "
+                     f"{s.seconds * 1e3:10.3f} ms{_fmt_attrs(s.attrs)}")
+        kids = children.get(s.id, [])
+        shown = kids[:max_children]
+        for k in shown:
+            emit(k, indent + 1)
+        if len(kids) > len(shown):
+            rest = kids[len(shown):]
+            total = sum(k.seconds for k in rest)
+            lines.append(f"{'  ' * (indent + 1)}... {len(rest)} more "
+                         f"({total * 1e3:.3f} ms)")
+
+    for root in children.get(-1, []):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def stage_summary(spans: list[Span]) -> str:
+    """Aggregate wall-clock by span name — the Fig-7-style breakdown."""
+    if not spans:
+        return "(no spans recorded)"
+    from repro.utils.tables import Table
+
+    agg: dict[str, list[float]] = defaultdict(list)
+    for s in spans:
+        agg[s.name].append(s.seconds)
+    total = sum(sum(v) for v in agg.values()) or 1.0
+    t = Table(headers=["span", "calls", "total ms", "mean ms", "share"],
+              title="aggregate by span name")
+    for name in sorted(agg, key=lambda n: -sum(agg[n])):
+        v = agg[name]
+        t.add_row(name, len(v), f"{sum(v) * 1e3:.3f}",
+                  f"{sum(v) / len(v) * 1e3:.3f}", f"{sum(v) / total:6.1%}")
+    return t.render()

@@ -1,0 +1,215 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+Everything the paper's evaluation counts — SpMV calls per backend,
+padding-zero rates, VxG fill, solver residuals — accumulates here so one
+export (Prometheus text or a snapshot dict) answers "what did this
+process actually do".  The registry is deliberately tiny: three
+instrument types, flat string names (dots as namespace separators), no
+label combinatorics.
+
+Instruments are cheap (a guarded float add under the GIL, a lock only
+for histograms), and the whole registry can be switched off, turning
+every mutation into a single-branch no-op for overhead-critical runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+#: Default histogram buckets: log-spaced, wide enough for ratios (padding
+#: rates, fills in [0, 1+]) and for millisecond-scale durations.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", _reg: "MetricsRegistry" = None):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self._reg = _reg
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._reg is not None and not self._reg.enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value (residuals, fill ratios, sizes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", _reg: "MetricsRegistry" = None):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self._reg = _reg
+
+    def set(self, value: float) -> None:
+        if self._reg is not None and not self._reg.enabled:
+            return
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._reg is not None and not self._reg.enabled:
+            return
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative bucket counts.
+
+    ``buckets`` are upper bounds (ascending); an implicit ``+Inf`` bucket
+    catches the overflow, mirroring the Prometheus layout so the text
+    exporter is a direct dump.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple = DEFAULT_BUCKETS,
+        _reg: "MetricsRegistry" = None,
+    ):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # + overflow
+        self.sum = 0.0
+        self.count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+        self._reg = _reg
+
+    def observe(self, value: float) -> None:
+        if self._reg is not None and not self._reg.enabled:
+            return
+        value = float(value)
+        idx = bisect_right(self.buckets, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "type": self.kind,
+                "buckets": list(self.buckets),
+                "counts": list(self.counts),
+                "sum": self.sum,
+                "count": self.count,
+                "min": self._min if self.count else None,
+                "max": self._max if self.count else None,
+            }
+
+
+class MetricsRegistry:
+    """Name -> instrument map; instruments are created on first use."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, factory):
+        inst = self._instruments.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.get(name)
+                if inst is None:
+                    inst = self._instruments[name] = factory()
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        inst = self._get(name, lambda: Counter(name, help, _reg=self))
+        if not isinstance(inst, Counter):
+            raise TypeError(f"metric {name!r} already registered as {inst.kind}")
+        return inst
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        inst = self._get(name, lambda: Gauge(name, help, _reg=self))
+        if not isinstance(inst, Gauge):
+            raise TypeError(f"metric {name!r} already registered as {inst.kind}")
+        return inst
+
+    def histogram(self, name: str, help: str = "", buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
+        inst = self._get(name, lambda: Histogram(name, help, buckets, _reg=self))
+        if not isinstance(inst, Histogram):
+            raise TypeError(f"metric {name!r} already registered as {inst.kind}")
+        return inst
+
+    # ------------------------------------------------------------------ #
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str):
+        """The instrument registered under *name*, or ``None``."""
+        return self._instruments.get(name)
+
+    def snapshot(self) -> dict:
+        """Plain-data snapshot of every instrument (JSON-serialisable)."""
+        with self._lock:
+            items = list(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in sorted(items)}
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; keeps the enabled flag)."""
+        with self._lock:
+            self._instruments = {}
+
+
+#: The process-wide registry singleton.
+registry = MetricsRegistry()
+
+
+def counter(name: str, help: str = "") -> Counter:
+    return registry.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    return registry.gauge(name, help)
+
+
+def histogram(name: str, help: str = "", buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
+    return registry.histogram(name, help, buckets)

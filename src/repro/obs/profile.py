@@ -1,0 +1,104 @@
+"""Profiling hooks: opt-in cProfile capture around instrumented regions.
+
+Tracing answers *where wall-clock went between stages*; profiling answers
+*which Python frames burned it inside one stage*.  The hook is a context
+manager gated by ``REPRO_PROFILE`` (or :func:`enable`), so production and
+benchmark runs pay nothing — `cProfile` is only imported, started and
+dumped when explicitly requested.
+
+``REPRO_PROFILE`` accepts ``1`` (print top functions to stderr at exit of
+each profiled region) or a path ending in ``.pstats`` / any file path
+(accumulate and dump binary stats there for ``snakeviz``/``pstats``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+__all__ = ["profiled", "enable", "disable", "is_enabled", "env_profile"]
+
+_state = {"enabled": False, "path": None, "profiler": None}
+
+
+def env_profile() -> tuple[bool, str | None]:
+    """Interpret ``REPRO_PROFILE``: (enabled, stats path or None)."""
+    raw = os.environ.get("REPRO_PROFILE", "").strip()
+    if not raw or raw in ("0", "false", "no", "off"):
+        return False, None
+    if raw in ("1", "true", "yes", "on"):
+        return True, None
+    return True, raw
+
+
+def enable(path: str | None = None) -> None:
+    _state["enabled"] = True
+    _state["path"] = path
+
+
+def disable() -> None:
+    _state["enabled"] = False
+    _state["path"] = None
+    _state["profiler"] = None
+
+
+def is_enabled() -> bool:
+    return _state["enabled"]
+
+
+class _NoopProfile:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP = _NoopProfile()
+
+
+class _ActiveProfile:
+    """Profile one region; print or dump on exit."""
+
+    def __init__(self, label: str, top: int):
+        self._label = label
+        self._top = top
+        self._prof = None
+
+    def __enter__(self):
+        import cProfile
+
+        # one shared profiler when accumulating to a file, so repeated
+        # regions (solver iterations) merge instead of overwriting
+        if _state["path"] is not None:
+            if _state["profiler"] is None:
+                _state["profiler"] = cProfile.Profile()
+            self._prof = _state["profiler"]
+        else:
+            self._prof = cProfile.Profile()
+        self._prof.enable()
+        return self
+
+    def __exit__(self, *exc):
+        self._prof.disable()
+        if _state["path"] is not None:
+            self._prof.dump_stats(_state["path"])
+        else:
+            import pstats
+
+            st = pstats.Stats(self._prof, stream=sys.stderr)
+            print(f"--- profile: {self._label} ---", file=sys.stderr)
+            st.sort_stats("cumulative").print_stats(self._top)
+        return False
+
+
+def profiled(label: str = "region", *, top: int = 15):
+    """Context manager profiling *label* when profiling is enabled.
+
+    Near-zero cost when disabled (one dict lookup and a branch).
+    """
+    if not _state["enabled"]:
+        return _NOOP
+    return _ActiveProfile(label, top)

@@ -1,0 +1,177 @@
+"""Hierarchical tracing spans — the Fig-7 stage stopwatch, generalised.
+
+A :class:`Span` is one timed region with a name, wall-clock bounds,
+free-form attributes (nnz, bytes, block counts, backend tags ...) and a
+parent id, so nested ``with span("build.ioblr"):`` blocks reconstruct the
+pipeline tree the paper's stage breakdown plots.  The tracer is
+process-wide and thread-aware: each thread keeps its own span stack, all
+finished spans land in one shared list.
+
+Overhead discipline: when tracing is disabled :func:`span` returns a
+shared no-op context manager — one attribute load and one branch on the
+hot path, nothing else.  ``min_time`` workloads therefore measure the
+same numbers with the subsystem merely imported (see
+``tests/test_obs.py``'s overhead smoke test).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "tracer", "span", "is_enabled"]
+
+
+@dataclass
+class Span:
+    """One traced region (ids are assigned when the span opens)."""
+
+    name: str
+    start: float                       # perf_counter seconds
+    end: float = 0.0
+    id: int = -1
+    parent: int = -1                   # parent span id, -1 = root
+    depth: int = 0
+    thread: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class _Active:
+    """Context manager recording one live span on the current thread."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span_: Span):
+        self._tracer = tracer
+        self._span = span_
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span.start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc):
+        self._span.end = time.perf_counter()
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Process-wide span collector with per-thread nesting stacks."""
+
+    def __init__(self):
+        self.enabled = False
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # control
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans (keeps the enabled flag)."""
+        with self._lock:
+            self.spans = []
+            self._local = threading.local()
+            self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+
+    def span(self, name: str, **attrs):
+        """Context manager timing *name*; no-op when tracing is off."""
+        if not self.enabled:
+            return _NOOP
+        s = Span(name=name, start=0.0, thread=threading.get_ident())
+        if attrs:
+            s.attrs.update(attrs)
+        return _Active(self, s)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, s: Span) -> None:
+        stack = self._stack()
+        with self._lock:
+            s.id = self._next_id
+            self._next_id += 1
+        if stack:
+            s.parent = stack[-1].id
+        s.depth = len(stack)
+        stack.append(s)
+
+    def _pop(self, s: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is s:
+            stack.pop()
+        with self._lock:
+            self.spans.append(s)
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def finished(self) -> list[Span]:
+        """Snapshot of completed spans, in completion order."""
+        with self._lock:
+            return list(self.spans)
+
+    def find(self, name: str) -> list[Span]:
+        """All finished spans whose name equals *name*."""
+        return [s for s in self.finished() if s.name == name]
+
+    def total(self, name: str) -> float:
+        """Summed wall-clock of every finished span named *name*."""
+        return sum(s.seconds for s in self.find(name))
+
+
+#: The process-wide tracer singleton.
+tracer = Tracer()
+
+
+def span(name: str, **attrs):
+    """Module-level shortcut for ``tracer.span`` (the hot-path entry)."""
+    if not tracer.enabled:
+        return _NOOP
+    return tracer.span(name, **attrs)
+
+
+def is_enabled() -> bool:
+    return tracer.enabled

@@ -16,6 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.recon.linops import ProjectionOperator
 from repro.sparse.csr import CSRMatrix
 from repro.utils.arrays import check_1d, ensure_dtype
@@ -96,13 +98,20 @@ def art_reconstruct(
     inv_row = np.divide(1.0, row_sums, out=np.zeros_like(row_sums), where=row_sums > 1e-12)
     inv_col = np.divide(1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 1e-12)
 
+    residual_gauge = obs_metrics.gauge("art.residual", "last ART residual norm")
+    iter_counter = obs_metrics.counter("art.iterations", "ART sweeps run")
     for k in range(iterations):
-        resid = y - op.forward(x)
-        weighted = (resid.astype(np.float64) * inv_row).astype(op.dtype)
-        update = op.adjoint(weighted).astype(np.float64) * inv_col
-        x = (x.astype(np.float64) + relax * update).astype(op.dtype)
-        if nonneg:
-            np.maximum(x, 0, out=x)
+        with span("art.iter", k=k) as it_span:
+            resid = y - op.forward(x)
+            weighted = (resid.astype(np.float64) * inv_row).astype(op.dtype)
+            update = op.adjoint(weighted).astype(np.float64) * inv_col
+            x = (x.astype(np.float64) + relax * update).astype(op.dtype)
+            if nonneg:
+                np.maximum(x, 0, out=x)
+            rnorm = float(np.linalg.norm(resid))
+            it_span.set(residual=rnorm)
+        residual_gauge.set(rnorm)
+        iter_counter.inc()
         if callback is not None:
-            callback(k, x, float(np.linalg.norm(resid)))
+            callback(k, x, rnorm)
     return x

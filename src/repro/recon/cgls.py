@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.recon.linops import ProjectionOperator
 from repro.utils.arrays import check_1d, ensure_dtype
 
@@ -56,20 +58,29 @@ def cgls_reconstruct(
     gamma = float(s @ s)
     gamma0 = gamma or 1.0
 
+    residual_gauge = obs_metrics.gauge(
+        "cgls.residual", "last CGLS normal-equation residual norm"
+    )
+    iter_counter = obs_metrics.counter("cgls.iterations", "CGLS iterations run")
     for k in range(iterations):
         if gamma <= rtol * rtol * gamma0:
             break
-        q = op.forward(p.astype(op.dtype)).astype(np.float64)
-        qq = float(q @ q) + damping * float(p @ p)
-        if qq == 0.0:  # p in the null space; nothing more to gain
-            break
-        alpha = gamma / qq
-        x += alpha * p
-        r -= alpha * q
-        s = op.adjoint(r.astype(op.dtype)).astype(np.float64) - damping * x
-        gamma_new = float(s @ s)
+        with span("cgls.iter", k=k) as it_span:
+            q = op.forward(p.astype(op.dtype)).astype(np.float64)
+            qq = float(q @ q) + damping * float(p @ p)
+            if qq == 0.0:  # p in the null space; nothing more to gain
+                break
+            alpha = gamma / qq
+            x += alpha * p
+            r -= alpha * q
+            s = op.adjoint(r.astype(op.dtype)).astype(np.float64) - damping * x
+            gamma_new = float(s @ s)
+            rnorm = float(np.sqrt(gamma_new))
+            it_span.set(residual=rnorm)
+        residual_gauge.set(rnorm)
+        iter_counter.inc()
         if callback is not None:
-            callback(k, x.astype(op.dtype), float(np.sqrt(gamma_new)))
+            callback(k, x.astype(op.dtype), rnorm)
         beta = gamma_new / gamma
         p = s + beta * p
         gamma = gamma_new

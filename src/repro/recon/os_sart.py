@@ -13,6 +13,8 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.sparse.csr import CSRMatrix
 from repro.utils.arrays import check_1d, ensure_dtype
 
@@ -77,14 +79,19 @@ def os_sart_reconstruct(
         inv_c = np.divide(1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 1e-12)
         pieces.append((sub, rows, inv_r, inv_c))
 
+    iter_counter = obs_metrics.counter("os_sart.iterations", "OS-SART passes run")
     for it in range(iterations):
-        for sub, rows, inv_r, inv_c in pieces:
-            resid = y[rows].astype(np.float64) - sub.spmv(x.astype(csr.dtype)).astype(np.float64)
-            back = sub.transpose_spmv((resid * inv_r).astype(csr.dtype)).astype(np.float64)
-            x += relax * inv_c * back
-            if nonneg:
-                np.maximum(x, 0, out=x)
+        with span("os_sart.iter", k=it, subsets=len(pieces)):
+            for sub, rows, inv_r, inv_c in pieces:
+                resid = y[rows].astype(np.float64) - sub.spmv(x.astype(csr.dtype)).astype(np.float64)
+                back = sub.transpose_spmv((resid * inv_r).astype(csr.dtype)).astype(np.float64)
+                x += relax * inv_c * back
+                if nonneg:
+                    np.maximum(x, 0, out=x)
+        iter_counter.inc()
         if callback is not None:
             full_resid = y.astype(np.float64) - csr.spmv(x.astype(csr.dtype)).astype(np.float64)
-            callback(it, x.astype(csr.dtype), float(np.linalg.norm(full_resid)))
+            rnorm = float(np.linalg.norm(full_resid))
+            obs_metrics.gauge("os_sart.residual", "last OS-SART residual norm").set(rnorm)
+            callback(it, x.astype(csr.dtype), rnorm)
     return x.astype(csr.dtype)

@@ -16,6 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.recon.linops import ProjectionOperator
 from repro.utils.arrays import check_1d, ensure_dtype
 
@@ -58,13 +60,19 @@ def sirt_reconstruct(
     inv_r = np.divide(1.0, row_sums, out=np.zeros_like(row_sums), where=row_sums > 1e-12)
     inv_c = np.divide(1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 1e-12)
 
+    residual_gauge = obs_metrics.gauge("sirt.residual", "last SIRT residual norm")
+    iter_counter = obs_metrics.counter("sirt.iterations", "SIRT iterations run")
     for k in range(iterations):
-        resid = (y - op.forward(x)).astype(np.float64)
-        back = op.adjoint((resid * inv_r).astype(op.dtype)).astype(np.float64)
-        x = (x.astype(np.float64) + relax * inv_c * back).astype(op.dtype)
-        if nonneg:
-            np.maximum(x, 0, out=x)
-        rnorm = float(np.linalg.norm(resid))
+        with span("sirt.iter", k=k) as it_span:
+            resid = (y - op.forward(x)).astype(np.float64)
+            back = op.adjoint((resid * inv_r).astype(op.dtype)).astype(np.float64)
+            x = (x.astype(np.float64) + relax * inv_c * back).astype(op.dtype)
+            if nonneg:
+                np.maximum(x, 0, out=x)
+            rnorm = float(np.linalg.norm(resid))
+            it_span.set(residual=rnorm)
+        residual_gauge.set(rnorm)
+        iter_counter.inc()
         if callback is not None:
             callback(k, x, rnorm)
         if rtol > 0 and rnorm / y_norm < rtol:

@@ -53,6 +53,90 @@ class Timer:
         return sum(self.laps.values())
 
 
+@dataclass(frozen=True)
+class TimingStats:
+    """Distribution of per-call wall-clock times from :func:`time_stats`.
+
+    ``min`` stays the paper's headline number; ``mean``/``std``/``p50``
+    expose run-to-run noise so benchmark tables can show both.
+    """
+
+    min: float
+    mean: float
+    std: float
+    p50: float
+    iterations: int
+    warmup: int
+
+    @classmethod
+    def from_samples(cls, samples: list[float], warmup: int) -> "TimingStats":
+        n = len(samples)
+        if n == 0:
+            raise ValueError("need at least one timed sample")
+        mean = sum(samples) / n
+        var = sum((s - mean) ** 2 for s in samples) / n
+        ordered = sorted(samples)
+        mid = n // 2
+        p50 = ordered[mid] if n % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+        return cls(
+            min=ordered[0], mean=mean, std=var ** 0.5, p50=p50,
+            iterations=n, warmup=warmup,
+        )
+
+
+def time_stats(
+    fn: Callable[[], object],
+    *,
+    iterations: int = 100,
+    warmup: int = 3,
+    max_seconds: float = 5.0,
+) -> TimingStats:
+    """Timing distribution of *fn* under the paper's min-of-N protocol.
+
+    Parameters
+    ----------
+    fn : callable
+        The operation to time (no arguments; capture state in a closure).
+    iterations : int
+        Target number of timed iterations (the paper uses >= 100).
+    warmup : int
+        Untimed warm-up calls (cache/JIT/page-fault warming).  Warmup
+        wall-clock counts against *max_seconds* — a huge problem can't
+        blow the budget before the first timed iteration — but at least
+        one timed iteration always runs.
+    max_seconds : float
+        Stop early once this much total wall-clock (warmup included) has
+        elapsed, so huge problems don't hold the harness hostage.
+
+    Returns
+    -------
+    TimingStats
+        min / mean / std / p50 of the per-call times, with the number of
+        timed iterations and warmup calls actually performed.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    spent = 0.0
+    warmed = 0
+    for _ in range(max(0, warmup)):
+        start = time.perf_counter()
+        fn()
+        spent += time.perf_counter() - start
+        warmed += 1
+        if spent >= max_seconds:
+            break
+    samples = []
+    for _ in range(iterations):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        samples.append(elapsed)
+        spent += elapsed
+        if spent >= max_seconds:
+            break
+    return TimingStats.from_samples(samples, warmed)
+
+
 def min_time(
     fn: Callable[[], object],
     *,
@@ -62,39 +146,12 @@ def min_time(
 ) -> float:
     """Minimum wall-clock execution time of *fn* over repeated calls.
 
-    Parameters
-    ----------
-    fn : callable
-        The operation to time (no arguments; capture state in a closure).
-    iterations : int
-        Target number of timed iterations (the paper uses >= 100).
-    warmup : int
-        Untimed warm-up calls (cache/JIT/page-fault warming).
-    max_seconds : float
-        Stop early once this much total timed wall-clock has elapsed, so
-        huge problems don't hold the harness hostage.  At least one timed
-        iteration always runs.
-
-    Returns
-    -------
-    float
-        The minimum observed per-call time in seconds.
+    Thin wrapper over :func:`time_stats` (same protocol and budget
+    semantics) returning just the paper's headline minimum.
     """
-    if iterations < 1:
-        raise ValueError("iterations must be >= 1")
-    for _ in range(max(0, warmup)):
-        fn()
-    best = float("inf")
-    spent = 0.0
-    for _ in range(iterations):
-        start = time.perf_counter()
-        fn()
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-        spent += elapsed
-        if spent >= max_seconds:
-            break
-    return best
+    return time_stats(
+        fn, iterations=iterations, warmup=warmup, max_seconds=max_seconds
+    ).min
 
 
 def gflops(nnz: int, seconds: float) -> float:

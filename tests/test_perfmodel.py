@@ -4,6 +4,7 @@ roofline predictions and the paper's qualitative shape claims."""
 import numpy as np
 import pytest
 
+from repro import config
 from repro.core.format_m import CSCVMMatrix
 from repro.core.format_z import CSCVZMatrix
 from repro.core.params import CSCVParams
@@ -197,6 +198,10 @@ class TestPaperShapeClaims:
         m_zen2 = predict_gflops(m_zen2_fmt, ZEN2, 1)
         assert m_zen2 < 0.8 * m_skl
 
+    @pytest.mark.skipif(
+        config.runtime.backend == "numpy",
+        reason="HOST model is calibrated against the compiled kernels",
+    )
     def test_host_model_within_factor_of_measured(self, tuned_formats):
         formats = tuned_formats
         # sanity: HOST model prediction within ~5x of measured wall clock
