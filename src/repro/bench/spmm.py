@@ -1,0 +1,144 @@
+"""SpMM bench: batched multi-RHS SpMV vs the looped single-RHS baseline.
+
+The multi-slice CT workload reconstructs ``k`` slices against one system
+matrix.  The looped baseline streams the matrix ``k`` times (one SpMV per
+slice); the batched SpMM path streams it once and amortises the index and
+value traffic over all ``k`` right-hand sides.  This experiment sweeps
+the batch size and reports the throughput of both paths per format —
+``GFLOP/s = 2 * nnz * k / T`` — so the crossover where batching pays is
+visible directly.
+
+Run via ``python -m repro bench spmm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api import build_ct_matrix, build_format
+from repro.core.params import CSCVParams
+from repro.errors import ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+from repro.utils.tables import Table
+from repro.utils.timing import time_stats
+
+DEFAULT_BATCH_SIZES = (1, 2, 4, 8, 16)
+DEFAULT_FORMATS = ("csr", "cscv-z", "cscv-m")
+
+
+@dataclass
+class SpMMRecord:
+    """One (format, batch size) measurement of both execution paths."""
+
+    format_name: str
+    batch: int
+    looped_seconds: float
+    batched_seconds: float
+    looped_gflops: float
+    batched_gflops: float
+    nnz: int
+
+    @property
+    def speedup(self) -> float:
+        """Batched throughput over the looped single-RHS baseline."""
+        return (
+            self.looped_seconds / self.batched_seconds
+            if self.batched_seconds
+            else 0.0
+        )
+
+
+def _looped_spmm(fmt, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """The baseline: one single-RHS SpMV per column of ``X``."""
+    for j in range(X.shape[1]):
+        Y[:, j] = fmt.spmv(np.ascontiguousarray(X[:, j]))
+    return Y
+
+
+def measure_spmm(
+    fmt,
+    batch: int,
+    *,
+    iterations: int = 20,
+    max_seconds: float = 2.0,
+    rng: np.random.Generator | None = None,
+) -> SpMMRecord:
+    """Time the looped and batched paths for one format and batch size."""
+    if batch < 1:
+        raise ValidationError("batch must be >= 1")
+    m, n = fmt.shape
+    rng = rng or np.random.default_rng(0)
+    X = np.ascontiguousarray(rng.random((n, batch)), dtype=fmt.dtype)
+    Y = np.zeros((m, batch), dtype=fmt.dtype)
+
+    with span("bench.spmm", format=fmt.name, batch=batch, nnz=fmt.nnz) as sp:
+        looped = time_stats(
+            lambda: _looped_spmm(fmt, X, Y),
+            iterations=iterations,
+            max_seconds=max_seconds,
+        )
+        batched = time_stats(
+            lambda: fmt.spmm_into(X, Y),
+            iterations=iterations,
+            max_seconds=max_seconds,
+        )
+        sp.set(looped_ms=looped.min * 1e3, batched_ms=batched.min * 1e3)
+    flops = 2.0 * fmt.nnz * batch
+    rec = SpMMRecord(
+        format_name=fmt.name,
+        batch=batch,
+        looped_seconds=looped.min,
+        batched_seconds=batched.min,
+        looped_gflops=flops / looped.min / 1e9 if looped.min else 0.0,
+        batched_gflops=flops / batched.min / 1e9 if batched.min else 0.0,
+        nnz=fmt.nnz,
+    )
+    obs_metrics.gauge(
+        "bench.spmm.speedup", "batched-over-looped SpMM speedup"
+    ).set(rec.speedup)
+    return rec
+
+
+def run_spmm_bench(
+    *,
+    size: int = 256,
+    batch_sizes=DEFAULT_BATCH_SIZES,
+    format_names=DEFAULT_FORMATS,
+    dtype=np.float32,
+    params: CSCVParams | None = None,
+    iterations: int = 20,
+) -> list[SpMMRecord]:
+    """Sweep batch sizes for every named format on a ``size``^2 CT matrix."""
+    coo, geom = build_ct_matrix(size, dtype=dtype)
+    records: list[SpMMRecord] = []
+    for name in format_names:
+        fmt = build_format(name, coo, geom=geom, params=params)
+        for batch in batch_sizes:
+            records.append(
+                measure_spmm(fmt, int(batch), iterations=iterations)
+            )
+    return records
+
+
+def render(records: list[SpMMRecord], *, title: str = "") -> str:
+    """Paper-style table of the sweep: one row per (format, batch)."""
+    t = Table(
+        headers=["format", "k", "looped ms", "batched ms",
+                 "looped GF/s", "batched GF/s", "speedup"],
+        fmt=".2f",
+        title=title,
+    )
+    for r in records:
+        t.add_row(
+            r.format_name,
+            str(r.batch),
+            r.looped_seconds * 1e3,
+            r.batched_seconds * 1e3,
+            r.looped_gflops,
+            r.batched_gflops,
+            f"{r.speedup:.2f}x",
+        )
+    return t.render()

@@ -4,6 +4,7 @@ Commands
 --------
 ``info``         environment, backend, registered formats, datasets
 ``spmv``         benchmark formats on a dataset or generated matrix
+``bench``        targeted micro-benchmarks (``bench spmm``: batched vs looped)
 ``convert``      build a CSCV matrix and save it to .npz
 ``reconstruct``  run an iterative solver on a phantom, report quality
 ``experiment``   regenerate one of the paper's tables/figures
@@ -67,6 +68,28 @@ def _cmd_spmv(args) -> int:
                   r.p50_seconds * 1e3, f"{r.noise:.1%}", r.bw_gbs)
     t.mark_extremes(1)
     print(t.render())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.what != "spmm":
+        print(f"unknown bench {args.what!r}; options: spmm", file=sys.stderr)
+        return 2
+    from repro.bench.spmm import run_spmm_bench, render
+    from repro.core.params import CSCVParams
+
+    dtype = np.float64 if args.double else np.float32
+    batches = tuple(int(b) for b in args.batches.split(","))
+    names = tuple(args.formats.split(",")) if args.formats else (
+        "csr", "cscv-z", "cscv-m",
+    )
+    params = CSCVParams(args.s_vvec, args.s_imgb, args.s_vxg)
+    records = run_spmm_bench(
+        size=args.size, batch_sizes=batches, format_names=names,
+        dtype=dtype, params=params, iterations=args.iterations,
+    )
+    print(render(records, title=f"SpMM vs looped SpMV, {args.size}^2 image "
+                                f"({np.dtype(dtype)})"))
     return 0
 
 
@@ -189,6 +212,19 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--s-imgb", type=int, default=16)
     sp.add_argument("--s-vxg", type=int, default=2)
 
+    bn = sub.add_parser("bench", help="targeted micro-benchmarks")
+    bn.add_argument("what", help="which bench to run (spmm)")
+    bn.add_argument("--size", type=int, default=256,
+                    help="image side length (matrix is ~2*size^2 x size^2)")
+    bn.add_argument("--formats", default="", help="comma-separated names")
+    bn.add_argument("--batches", default="1,2,4,8,16",
+                    help="comma-separated batch sizes k")
+    bn.add_argument("--double", action="store_true")
+    bn.add_argument("--iterations", type=int, default=20)
+    bn.add_argument("--s-vvec", type=int, default=16)
+    bn.add_argument("--s-imgb", type=int, default=16)
+    bn.add_argument("--s-vxg", type=int, default=2)
+
     cv = sub.add_parser("convert", help="build + save a CSCV matrix")
     cv.add_argument("output")
     cv.add_argument("--dataset", default="clinical-small")
@@ -223,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "info": _cmd_info,
     "spmv": _cmd_spmv,
+    "bench": _cmd_bench,
     "convert": _cmd_convert,
     "reconstruct": _cmd_reconstruct,
     "experiment": _cmd_experiment,

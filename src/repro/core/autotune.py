@@ -145,6 +145,20 @@ def autotune_parameters(
     if not points:
         raise AutotuneError("empty parameter grid")
     if scorer == "measure":
+        unmeasured = [
+            p for p in points if p.gflops_z is None or p.gflops_m is None
+        ]
+        if unmeasured:
+            combos = ", ".join(
+                f"(s_vvec={p.params.s_vvec}, s_imgb={p.params.s_imgb}, "
+                f"s_vxg={p.params.s_vxg})"
+                for p in unmeasured
+            )
+            raise AutotuneError(
+                f"scorer='measure' has no timing for parameter "
+                f"combination(s) {combos}; re-run the sweep with "
+                "measure=True or use scorer='model'"
+            )
         best_z = max(points, key=lambda p: p.gflops_z).params
         best_m = max(points, key=lambda p: p.gflops_m).params
     else:

@@ -16,7 +16,7 @@ import numpy as np
 from repro.core.builder import CSCVData
 from repro.core.format_z import CSCVZMatrix
 from repro.core.params import CSCVParams
-from repro.core.spmv import resolve_flat_rows_m, spmv_m
+from repro.core.spmv import resolve_flat_rows_m, spmm_m, spmv_m
 from repro.geometry.parallel_beam import ParallelBeamGeometry
 from repro.sparse.matrix_base import SpMVFormat, register_format
 
@@ -68,6 +68,10 @@ class CSCVMMatrix(SpMVFormat):
         x = self._check_x(x)
         return spmv_m(self.data, x, y, threads=self.threads, flat_rows=self._rows())
 
+    def spmm_into(self, X, Y):
+        """Multi-RHS SpMV: one packed-value stream serves all k columns."""
+        return spmm_m(self.data, X, Y, threads=self.threads, flat_rows=self._rows())
+
     def _rows(self) -> np.ndarray:
         if self._flat_rows is None:
             self._flat_rows = resolve_flat_rows_m(self.data)
@@ -92,6 +96,32 @@ class CSCVMMatrix(SpMVFormat):
         out += np.bincount(xcols, weights=contrib, minlength=self.shape[1]).astype(
             self.dtype, copy=False
         )
+        return out
+
+    def transpose_spmm(self, Y_in: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``X = A^T Y`` for a sinogram stack ``Y`` of shape (m, k)."""
+        from repro.errors import ValidationError
+        from repro.utils.arrays import ensure_dtype
+
+        Y_in = np.asarray(Y_in)
+        if Y_in.ndim != 2 or Y_in.shape[0] != self.shape[0]:
+            raise ValidationError(f"Y must have shape ({self.shape[0]}, k)")
+        Yc = ensure_dtype(Y_in, self.dtype, "Y")
+        k = Yc.shape[1]
+        if out is None:
+            out = np.zeros((self.shape[1], k), dtype=self.dtype)
+        else:
+            out[:] = 0
+        d = self.data
+        if d.nnz == 0 or k == 0:
+            return out
+        rows = self._rows()
+        counts = np.diff(d.voff)
+        xcols = np.repeat(d.e_col.astype(np.int64), counts)
+        contrib = d.packed[:, None] * Yc[rows]
+        acc = np.zeros((self.shape[1], k), dtype=np.float64)
+        np.add.at(acc, xcols, contrib)
+        out += acc.astype(self.dtype, copy=False)
         return out
 
     # ------------------------------------------------------------------ #
@@ -135,11 +165,16 @@ class CSCVMMatrix(SpMVFormat):
 
     def to_dense(self):
         dense = np.zeros(self.shape, dtype=self.dtype)
+        rows, cols, vals = self.to_coo_triplets()
+        dense[rows, cols] = vals
+        return dense
+
+    def to_coo_triplets(self):
         d = self.data
         if d.nnz == 0:
-            return dense
+            z = np.zeros(0, dtype=np.int64)
+            return z, z, np.zeros(0, dtype=self.dtype)
         rows = self._rows()
         counts = np.diff(d.voff)
         cols = np.repeat(d.e_col.astype(np.int64), counts)
-        dense[rows, cols] = d.packed
-        return dense
+        return rows.astype(np.int64), cols, d.packed

@@ -14,7 +14,7 @@ import numpy as np
 from repro.config import INDEX_DTYPE
 from repro.core.builder import CSCVData, build_cscv
 from repro.core.params import CSCVParams
-from repro.core.spmv import resolve_flat_rows_z, spmv_z
+from repro.core.spmv import resolve_flat_rows_z, spmm_z, spmv_z
 from repro.errors import FormatError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
 from repro.sparse.matrix_base import SpMVFormat, register_format
@@ -80,6 +80,10 @@ class CSCVZMatrix(SpMVFormat):
         x = self._check_x(x)
         return spmv_z(self.data, x, y, threads=self.threads, flat_rows=self._rows())
 
+    def spmm_into(self, X, Y):
+        """Multi-RHS SpMV: one VxG stream serves all k columns."""
+        return spmm_z(self.data, X, Y, threads=self.threads, flat_rows=self._rows())
+
     def _rows(self) -> np.ndarray:
         if self._flat_rows is None:
             self._flat_rows = resolve_flat_rows_z(self.data)
@@ -134,6 +138,34 @@ class CSCVZMatrix(SpMVFormat):
         ).astype(self.dtype, copy=False)
         return out
 
+    def transpose_spmm(self, Y_in: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``X = A^T Y`` for a sinogram stack ``Y`` of shape (m, k)."""
+        from repro.errors import ValidationError
+        from repro.utils.arrays import ensure_dtype
+
+        Y_in = np.asarray(Y_in)
+        if Y_in.ndim != 2 or Y_in.shape[0] != self.shape[0]:
+            raise ValidationError(f"Y must have shape ({self.shape[0]}, k)")
+        Yc = ensure_dtype(Y_in, self.dtype, "Y")
+        k = Yc.shape[1]
+        if out is None:
+            out = np.zeros((self.shape[1], k), dtype=self.dtype)
+        else:
+            out[:] = 0
+        d = self.data
+        if d.nnz == 0 or k == 0:
+            return out
+        rows = self._rows()
+        valid = rows >= 0
+        vxg_len = d.params.vxg_len
+        contrib = np.zeros((d.num_vxg * vxg_len, k), dtype=np.float64)
+        contrib[valid] = d.values[valid, None] * Yc[rows[valid]]
+        per_vxg = contrib.reshape(d.num_vxg, vxg_len, k).sum(axis=1)
+        acc = np.zeros((self.shape[1], k), dtype=np.float64)
+        np.add.at(acc, d.vxg_col.astype(np.int64), per_vxg)
+        out += acc.astype(self.dtype, copy=False)
+        return out
+
     # ------------------------------------------------------------------ #
     # accounting
 
@@ -172,11 +204,16 @@ class CSCVZMatrix(SpMVFormat):
 
     def to_dense(self):
         dense = np.zeros(self.shape, dtype=self.dtype)
+        rows, cols, vals = self.to_coo_triplets()
+        dense[rows, cols] = vals
+        return dense
+
+    def to_coo_triplets(self):
         d = self.data
         if d.nnz == 0:
-            return dense
+            z = np.zeros(0, dtype=np.int64)
+            return z, z, np.zeros(0, dtype=self.dtype)
         rows = self._rows()
         cols = np.repeat(d.vxg_col.astype(np.int64), d.params.vxg_len)
         valid = (rows >= 0) & (d.values != 0)
-        dense[rows[valid], cols[valid]] = d.values[valid]
-        return dense
+        return rows[valid].astype(np.int64), cols[valid], d.values[valid]

@@ -1,4 +1,4 @@
-"""SpMV execution drivers for CSCV data.
+"""SpMV / SpMM execution drivers for CSCV data.
 
 Three execution paths, all numerically identical:
 
@@ -11,10 +11,17 @@ Three execution paths, all numerically identical:
 * **NumPy threaded** — the flat path split over block ranges across a
   thread pool with per-thread partial ``y`` and a final reduction,
   mirroring the paper's private-copy scheme in pure Python.
+
+The multi-RHS drivers (:func:`spmm_z` / :func:`spmm_m`) run the same VxG
+stream against ``X`` of shape ``(n, k)`` — the matrix streams from memory
+once for all ``k`` right-hand sides, which is where the batched CT
+workload (many slices, one system matrix) wins over looped SpMV.
 """
 
 from __future__ import annotations
 
+import atexit
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -24,6 +31,43 @@ from repro.core.builder import CSCVData
 from repro.kernels import dispatch
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+
+
+# Shared worker pool for the NumPy-threaded path.  Solver loops call
+# SpMV thousands of times; spawning a fresh ThreadPoolExecutor per call
+# costs more than the compute on small blocks, so one lazily-created
+# module-level pool (sized from config.runtime.threads, grown on demand)
+# serves every call and is torn down atexit.
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+_pool_size = 0
+
+
+def _shared_pool(workers: int) -> ThreadPoolExecutor:
+    """The process-wide SpMV worker pool, grown to at least *workers*."""
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is None or _pool_size < workers:
+            if _pool is not None:
+                _pool.shutdown(wait=True)
+            _pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-spmv"
+            )
+            _pool_size = workers
+        return _pool
+
+
+def _shutdown_pool() -> None:
+    """Tear down the shared pool (atexit hook and test hook)."""
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(wait=False)
+            _pool = None
+            _pool_size = 0
+
+
+atexit.register(_shutdown_pool)
 
 
 def _count_call(variant: str, backend: str) -> None:
@@ -188,7 +232,11 @@ def _accumulate_m(data, x, y, rows, b0, b1):
 
 
 def _threaded(data, x, y, rows, threads, accumulate):
-    """Private-y-per-thread scheme over contiguous block ranges."""
+    """Private-y-per-thread scheme over contiguous block ranges.
+
+    Works for both SpMV (*y* 1-D) and SpMM (*y* 2-D) accumulators; the
+    partials mirror *y*'s shape.
+    """
     from repro.utils.partition import split_evenly
 
     ranges = [r for r in split_evenly(data.num_blocks, threads) if r[0] < r[1]]
@@ -199,8 +247,141 @@ def _threaded(data, x, y, rows, threads, accumulate):
         with span("spmv.block_range", b0=b0, b1=b1):
             accumulate(data, x, partials[idx], rows, b0, b1)
 
-    with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
-        list(pool.map(work, range(len(ranges))))
+    pool = _shared_pool(len(ranges))
+    list(pool.map(work, range(len(ranges))))
     for p in partials:  # deterministic reduction order
         y += p
     return y
+
+
+# ---------------------------------------------------------------------- #
+# multi-RHS (SpMM) drivers
+
+
+def spmm_z(data: CSCVData, X: np.ndarray, Y: np.ndarray, *,
+           threads: int | None = None,
+           flat_rows: np.ndarray | None = None) -> np.ndarray:
+    """CSCV-Z multi-RHS SpMV: ``Y[:] = A @ X`` with ``X`` of shape (n, k)."""
+    threads = threads or config.runtime.threads
+    Y[:] = 0
+    k = X.shape[1]
+    if data.nnz == 0 or k == 0:
+        return Y
+    fn = dispatch.get("cscv_z_spmm", data.dtype)
+    if fn is not None:
+        with span("spmm.z", backend="c", nnz=data.nnz, batch=k,
+                  blocks=data.num_blocks, threads=int(threads)):
+            fn(
+                data.shape[0],
+                k,
+                data.num_blocks,
+                data.blk_vxg_ptr,
+                data.vxg_col,
+                data.vxg_start,
+                data.values,
+                data.params.vxg_len,
+                data.blk_ysize,
+                data.blk_map_ptr,
+                data.ymap,
+                X,
+                Y,
+                data.max_ysize,
+                int(threads),
+            )
+        _count_call("z_mm", "c")
+        return Y
+    rows = flat_rows if flat_rows is not None else resolve_flat_rows_z(data)
+    if threads <= 1 or data.num_blocks < 2 * threads:
+        with span("spmm.z", backend="flat", nnz=data.nnz, batch=k,
+                  blocks=data.num_blocks):
+            _accumulate_z_mm(data, X, Y, rows, 0, data.num_blocks)
+        _count_call("z_mm", "flat")
+        return Y
+    with span("spmm.z", backend="threaded", nnz=data.nnz, batch=k,
+              blocks=data.num_blocks, threads=int(threads)):
+        _threaded(data, X, Y, rows, threads, _accumulate_z_mm)
+    _count_call("z_mm", "threaded")
+    return Y
+
+
+def _accumulate_z_mm(data, X, Y, rows, b0, b1):
+    """Reshaped-bincount scatter: row ids fan out to row*k + lane keys."""
+    vxg_len = data.params.vxg_len
+    k = X.shape[1]
+    g0, g1 = int(data.blk_vxg_ptr[b0]), int(data.blk_vxg_ptr[b1])
+    if g0 == g1:
+        return
+    vals = data.values[g0 * vxg_len : g1 * vxg_len].reshape(g1 - g0, vxg_len)
+    xrows = X[data.vxg_col[g0:g1].astype(np.int64)]          # (G, k)
+    contrib = (vals[:, :, None] * xrows[:, None, :]).reshape(-1, k)
+    r = rows[g0 * vxg_len : g1 * vxg_len]
+    valid = r >= 0
+    keys = (r[valid].astype(np.int64)[:, None] * k + np.arange(k)).ravel()
+    Y += np.bincount(
+        keys, weights=contrib[valid].ravel(), minlength=data.shape[0] * k
+    ).reshape(data.shape[0], k).astype(data.dtype, copy=False)
+
+
+def spmm_m(data: CSCVData, X: np.ndarray, Y: np.ndarray, *,
+           threads: int | None = None,
+           flat_rows: np.ndarray | None = None) -> np.ndarray:
+    """CSCV-M multi-RHS SpMV over the packed value stream."""
+    threads = threads or config.runtime.threads
+    Y[:] = 0
+    k = X.shape[1]
+    if data.nnz == 0 or k == 0:
+        return Y
+    fn = dispatch.get("cscv_m_spmm", data.dtype)
+    if fn is not None:
+        with span("spmm.m", backend="c", nnz=data.nnz, batch=k,
+                  blocks=data.num_blocks, threads=int(threads)):
+            fn(
+                data.shape[0],
+                k,
+                data.num_blocks,
+                data.blk_vxg_ptr,
+                data.vxg_col,
+                data.vxg_start,
+                data.vxg_voff,
+                data.vxg_masks,
+                data.packed,
+                data.params.s_vxg,
+                data.params.s_vvec,
+                data.blk_ysize,
+                data.blk_map_ptr,
+                data.ymap,
+                X,
+                Y,
+                data.max_ysize,
+                int(threads),
+            )
+        _count_call("m_mm", "c")
+        return Y
+    rows = flat_rows if flat_rows is not None else resolve_flat_rows_m(data)
+    if threads <= 1 or data.num_blocks < 2 * threads:
+        with span("spmm.m", backend="flat", nnz=data.nnz, batch=k,
+                  blocks=data.num_blocks):
+            _accumulate_m_mm(data, X, Y, rows, 0, data.num_blocks)
+        _count_call("m_mm", "flat")
+        return Y
+    with span("spmm.m", backend="threaded", nnz=data.nnz, batch=k,
+              blocks=data.num_blocks, threads=int(threads)):
+        _threaded(data, X, Y, rows, threads, _accumulate_m_mm)
+    _count_call("m_mm", "threaded")
+    return Y
+
+
+def _accumulate_m_mm(data, X, Y, rows, b0, b1):
+    k = X.shape[1]
+    k0, k1 = int(data.voff[data.blk_e_ptr[b0]]), int(data.voff[data.blk_e_ptr[b1]])
+    if k0 == k1:
+        return
+    e0, e1 = int(data.blk_e_ptr[b0]), int(data.blk_e_ptr[b1])
+    counts = np.diff(data.voff[e0 : e1 + 1])
+    xcols = np.repeat(data.e_col[e0:e1].astype(np.int64), counts)
+    contrib = data.packed[k0:k1, None] * X[xcols]             # (nnz_range, k)
+    r = rows[k0:k1].astype(np.int64)
+    keys = (r[:, None] * k + np.arange(k)).ravel()
+    Y += np.bincount(
+        keys, weights=contrib.ravel(), minlength=data.shape[0] * k
+    ).reshape(data.shape[0], k).astype(data.dtype, copy=False)

@@ -53,6 +53,32 @@ DEFINE_CSR(f32, float)
 DEFINE_CSR(f64, double)
 
 /* ------------------------------------------------------------------ */
+/* CSR SpMM: Y = A X with X (n, k) and Y (m, k), both row-major.        */
+/* Each nonzero streams once and fans out across the k RHS lanes — the  */
+/* k-loop is contiguous in both X and Y, so it vectorises cleanly and   */
+/* the matrix traffic is amortised k ways.                              */
+
+#define DEFINE_CSR_SPMM(SUF, T)                                             \
+EXPORT void csr_spmm_##SUF(int64_t m, int64_t k, const int32_t *row_ptr,    \
+                           const int32_t *col_idx, const T *vals,           \
+                           const T *X, T *Y) {                              \
+    _Pragma("omp parallel for schedule(static)")                            \
+    for (int64_t i = 0; i < m; ++i) {                                       \
+        T *yr = Y + i * k;                                                  \
+        for (int64_t j = 0; j < k; ++j) yr[j] = (T)0;                       \
+        for (int32_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {             \
+            const T a = vals[p];                                            \
+            const T *xr = X + (int64_t)col_idx[p] * k;                      \
+            for (int64_t j = 0; j < k; ++j)                                 \
+                yr[j] += a * xr[j];                                         \
+        }                                                                   \
+    }                                                                       \
+}
+
+DEFINE_CSR_SPMM(f32, float)
+DEFINE_CSR_SPMM(f64, double)
+
+/* ------------------------------------------------------------------ */
 /* CSC: paper Algorithm 1 — scatter x_i * vals into y (single thread:   */
 /* the scatter races under naive OpenMP, matching why CSC is hard).     */
 
@@ -282,6 +308,95 @@ EXPORT void cscv_z_spmv_##SUF(                                              \
 DEFINE_CSCV_Z_FULL(f32, float)
 DEFINE_CSCV_Z_FULL(f64, double)
 
+/* ------------------------------------------------------------------ */
+/* CSCV-Z SpMM: the VxG stream applied to k RHS at once.                */
+/* X is (n, k) row-major, Y is (m, k) row-major; ytilde holds k lanes   */
+/* per slot (slot-major), so the scatter through the IOBLR map moves    */
+/* contiguous k-vectors.  The matrix (values + index) streams once for  */
+/* all k columns — the whole point of batching.                         */
+
+#define DEFINE_CSCV_Z_SPMM_BLOCK(SUF, T)                                    \
+static void cscv_z_block_spmm_##SUF(int64_t num_vxg, int64_t vxg_len,       \
+                                    int64_t k, const int32_t *vxg_col,      \
+                                    const int32_t *vxg_start,               \
+                                    const T *values, const T *X,            \
+                                    T *ytilde) {                            \
+    for (int64_t g = 0; g < num_vxg; ++g) {                                 \
+        const T *xr = X + (int64_t)vxg_col[g] * k;                          \
+        const T *v = values + g * vxg_len;                                  \
+        T *yt = ytilde + (int64_t)vxg_start[g] * k;                         \
+        for (int64_t s = 0; s < vxg_len; ++s) {                             \
+            const T vs = v[s];                                              \
+            T *yts = yt + s * k;                                            \
+            for (int64_t j = 0; j < k; ++j)                                 \
+                yts[j] += vs * xr[j];                                       \
+        }                                                                   \
+    }                                                                       \
+}
+
+DEFINE_CSCV_Z_SPMM_BLOCK(f32, float)
+DEFINE_CSCV_Z_SPMM_BLOCK(f64, double)
+
+#define DEFINE_CSCV_Z_SPMM_FULL(SUF, T)                                     \
+EXPORT void cscv_z_spmm_##SUF(                                              \
+        int64_t m, int64_t k, int64_t num_blocks,                           \
+        const int64_t *blk_vxg_ptr, const int32_t *vxg_col,                 \
+        const int32_t *vxg_start, const T *values, int64_t vxg_len,         \
+        const int64_t *blk_ysize, const int64_t *blk_map_ptr,               \
+        const int32_t *map, const T *X, T *Y, int64_t max_ysize,            \
+        int nthreads) {                                                     \
+    if (nthreads <= 1) { /* no private copies, no reduction */              \
+        T *ytilde = (T *)malloc((size_t)(max_ysize * k) * sizeof(T));       \
+        for (int64_t b = 0; b < num_blocks; ++b) {                          \
+            const int64_t ysz = blk_ysize[b];                               \
+            memset(ytilde, 0, (size_t)(ysz * k) * sizeof(T));               \
+            const int64_t g0 = blk_vxg_ptr[b], g1 = blk_vxg_ptr[b + 1];     \
+            cscv_z_block_spmm_##SUF(g1 - g0, vxg_len, k, vxg_col + g0,      \
+                                    vxg_start + g0, values + g0 * vxg_len,  \
+                                    X, ytilde);                             \
+            const int32_t *bmap = map + blk_map_ptr[b];                     \
+            for (int64_t p = 0; p < ysz; ++p) {                             \
+                const int32_t t = bmap[p];                                  \
+                if (t < 0) continue;                                        \
+                T *yr = Y + (int64_t)t * k;                                 \
+                const T *yt = ytilde + p * k;                               \
+                for (int64_t j = 0; j < k; ++j) yr[j] += yt[j];             \
+            }                                                               \
+        }                                                                   \
+        free(ytilde);                                                       \
+        return;                                                             \
+    }                                                                       \
+    _Pragma("omp parallel num_threads(nthreads)")                           \
+    {                                                                       \
+        T *ytilde = (T *)malloc((size_t)(max_ysize * k) * sizeof(T));       \
+        T *ylocal = (T *)calloc((size_t)(m * k), sizeof(T));                \
+        _Pragma("omp for schedule(dynamic, 1)")                             \
+        for (int64_t b = 0; b < num_blocks; ++b) {                          \
+            const int64_t ysz = blk_ysize[b];                               \
+            memset(ytilde, 0, (size_t)(ysz * k) * sizeof(T));               \
+            const int64_t g0 = blk_vxg_ptr[b], g1 = blk_vxg_ptr[b + 1];     \
+            cscv_z_block_spmm_##SUF(g1 - g0, vxg_len, k, vxg_col + g0,      \
+                                    vxg_start + g0, values + g0 * vxg_len,  \
+                                    X, ytilde);                             \
+            const int32_t *bmap = map + blk_map_ptr[b];                     \
+            for (int64_t p = 0; p < ysz; ++p) {                             \
+                const int32_t t = bmap[p];                                  \
+                if (t < 0) continue;                                        \
+                T *yr = ylocal + (int64_t)t * k;                            \
+                const T *yt = ytilde + p * k;                               \
+                for (int64_t j = 0; j < k; ++j) yr[j] += yt[j];             \
+            }                                                               \
+        }                                                                   \
+        _Pragma("omp critical")                                             \
+        for (int64_t i = 0; i < m * k; ++i) Y[i] += ylocal[i];              \
+        free(ytilde);                                                       \
+        free(ylocal);                                                       \
+    }                                                                       \
+}
+
+DEFINE_CSCV_Z_SPMM_FULL(f32, float)
+DEFINE_CSCV_Z_SPMM_FULL(f64, double)
+
 #define DEFINE_CSCV_M_FULL(SUF, T)                                          \
 EXPORT void cscv_m_spmv_##SUF(                                              \
         int64_t m, int64_t num_blocks, const int64_t *blk_vxg_ptr,          \
@@ -336,6 +451,107 @@ EXPORT void cscv_m_spmv_##SUF(                                              \
 
 DEFINE_CSCV_M_FULL(f32, float)
 DEFINE_CSCV_M_FULL(f64, double)
+
+/* ------------------------------------------------------------------ */
+/* CSCV-M SpMM: packed values applied to k RHS at once.                 */
+/* No vexpand here even on AVX-512: with k lanes per slot each packed   */
+/* value already feeds a contiguous k-wide FMA against X's row, so the  */
+/* expansion degenerates to a scalar walk over set mask bits.           */
+
+#define DEFINE_CSCV_M_SPMM_BLOCK(SUF, T)                                    \
+static void cscv_m_block_spmm_##SUF(int64_t num_vxg, int64_t s_vxg,         \
+                                    int64_t s_vvec, int64_t k,              \
+                                    const int32_t *vxg_col,                 \
+                                    const int32_t *vxg_start,               \
+                                    const int64_t *vxg_voff,                \
+                                    const uint32_t *vxg_masks,              \
+                                    const T *packed, const T *X,            \
+                                    T *ytilde) {                            \
+    for (int64_t g = 0; g < num_vxg; ++g) {                                 \
+        const T *xr = X + (int64_t)vxg_col[g] * k;                          \
+        const T *pv = packed + vxg_voff[g];                                 \
+        T *yt0 = ytilde + (int64_t)vxg_start[g] * k;                        \
+        const uint32_t *gm = vxg_masks + g * s_vxg;                         \
+        for (int64_t e = 0; e < s_vxg; ++e) {                               \
+            const uint32_t mask = gm[e];                                    \
+            if (!mask) continue;                                            \
+            T *yte = yt0 + e * s_vvec * k;                                  \
+            for (int64_t l = 0; l < s_vvec; ++l) {                          \
+                if (!(mask & (1u << l))) continue;                          \
+                const T a = *pv++;                                          \
+                T *yts = yte + l * k;                                       \
+                for (int64_t j = 0; j < k; ++j)                             \
+                    yts[j] += a * xr[j];                                    \
+            }                                                               \
+        }                                                                   \
+    }                                                                       \
+}
+
+DEFINE_CSCV_M_SPMM_BLOCK(f32, float)
+DEFINE_CSCV_M_SPMM_BLOCK(f64, double)
+
+#define DEFINE_CSCV_M_SPMM_FULL(SUF, T)                                     \
+EXPORT void cscv_m_spmm_##SUF(                                              \
+        int64_t m, int64_t k, int64_t num_blocks,                           \
+        const int64_t *blk_vxg_ptr, const int32_t *vxg_col,                 \
+        const int32_t *vxg_start, const int64_t *vxg_voff,                  \
+        const uint32_t *vxg_masks, const T *packed, int64_t s_vxg,          \
+        int64_t s_vvec, const int64_t *blk_ysize,                           \
+        const int64_t *blk_map_ptr, const int32_t *map, const T *X, T *Y,   \
+        int64_t max_ysize, int nthreads) {                                  \
+    if (nthreads <= 1) { /* no private copies, no reduction */              \
+        T *ytilde = (T *)malloc((size_t)(max_ysize * k) * sizeof(T));       \
+        for (int64_t b = 0; b < num_blocks; ++b) {                          \
+            const int64_t ysz = blk_ysize[b];                               \
+            memset(ytilde, 0, (size_t)(ysz * k) * sizeof(T));               \
+            const int64_t g0 = blk_vxg_ptr[b], g1 = blk_vxg_ptr[b + 1];     \
+            cscv_m_block_spmm_##SUF(g1 - g0, s_vxg, s_vvec, k,              \
+                                    vxg_col + g0, vxg_start + g0,           \
+                                    vxg_voff + g0, vxg_masks + g0 * s_vxg,  \
+                                    packed, X, ytilde);                     \
+            const int32_t *bmap = map + blk_map_ptr[b];                     \
+            for (int64_t p = 0; p < ysz; ++p) {                             \
+                const int32_t t = bmap[p];                                  \
+                if (t < 0) continue;                                        \
+                T *yr = Y + (int64_t)t * k;                                 \
+                const T *yt = ytilde + p * k;                               \
+                for (int64_t j = 0; j < k; ++j) yr[j] += yt[j];             \
+            }                                                               \
+        }                                                                   \
+        free(ytilde);                                                       \
+        return;                                                             \
+    }                                                                       \
+    _Pragma("omp parallel num_threads(nthreads)")                           \
+    {                                                                       \
+        T *ytilde = (T *)malloc((size_t)(max_ysize * k) * sizeof(T));       \
+        T *ylocal = (T *)calloc((size_t)(m * k), sizeof(T));                \
+        _Pragma("omp for schedule(dynamic, 1)")                             \
+        for (int64_t b = 0; b < num_blocks; ++b) {                          \
+            const int64_t ysz = blk_ysize[b];                               \
+            memset(ytilde, 0, (size_t)(ysz * k) * sizeof(T));               \
+            const int64_t g0 = blk_vxg_ptr[b], g1 = blk_vxg_ptr[b + 1];     \
+            cscv_m_block_spmm_##SUF(g1 - g0, s_vxg, s_vvec, k,              \
+                                    vxg_col + g0, vxg_start + g0,           \
+                                    vxg_voff + g0, vxg_masks + g0 * s_vxg,  \
+                                    packed, X, ytilde);                     \
+            const int32_t *bmap = map + blk_map_ptr[b];                     \
+            for (int64_t p = 0; p < ysz; ++p) {                             \
+                const int32_t t = bmap[p];                                  \
+                if (t < 0) continue;                                        \
+                T *yr = ylocal + (int64_t)t * k;                            \
+                const T *yt = ytilde + p * k;                               \
+                for (int64_t j = 0; j < k; ++j) yr[j] += yt[j];             \
+            }                                                               \
+        }                                                                   \
+        _Pragma("omp critical")                                             \
+        for (int64_t i = 0; i < m * k; ++i) Y[i] += ylocal[i];              \
+        free(ytilde);                                                       \
+        free(ylocal);                                                       \
+    }                                                                       \
+}
+
+DEFINE_CSCV_M_SPMM_FULL(f32, float)
+DEFINE_CSCV_M_SPMM_FULL(f64, double)
 
 /* ------------------------------------------------------------------ */
 /* SPC5-style beta(1,c) row-block kernel: per block one row id, a       */
@@ -486,4 +702,4 @@ EXPORT int kernels_omp_max_threads(void) {
 #endif
 }
 
-EXPORT int kernels_abi_version(void) { return 3; }
+EXPORT int kernels_abi_version(void) { return 4; }

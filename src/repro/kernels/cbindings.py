@@ -34,6 +34,7 @@ def _signatures(dtype) -> dict[str, list]:
     fp = _f(dtype)
     return {
         "csr_spmv": [_c_i64, _i32, _i32, fp, fp, fp],
+        "csr_spmm": [_c_i64, _c_i64, _i32, _i32, fp, fp, fp],
         "csc_spmv": [_c_i64, _c_i64, _i32, _i32, fp, fp, fp],
         "ell_spmv": [_c_i64, _c_i64, _i32, fp, fp, fp],
         "cscv_z_spmv": [
@@ -49,6 +50,23 @@ def _signatures(dtype) -> dict[str, list]:
             _i32,    # map
             fp,      # x
             fp,      # y
+            _c_i64,  # max_ysize
+            _c_int,  # nthreads
+        ],
+        "cscv_z_spmm": [
+            _c_i64,  # m
+            _c_i64,  # k (RHS count)
+            _c_i64,  # num_blocks
+            _i64,    # blk_vxg_ptr
+            _i32,    # vxg_col
+            _i32,    # vxg_start
+            fp,      # values
+            _c_i64,  # vxg_len
+            _i64,    # blk_ysize
+            _i64,    # blk_map_ptr
+            _i32,    # map
+            fp,      # X (n, k) row-major
+            fp,      # Y (m, k) row-major
             _c_i64,  # max_ysize
             _c_int,  # nthreads
         ],
@@ -68,6 +86,26 @@ def _signatures(dtype) -> dict[str, list]:
             _i32,    # map
             fp,      # x
             fp,      # y
+            _c_i64,  # max_ysize
+            _c_int,  # nthreads
+        ],
+        "cscv_m_spmm": [
+            _c_i64,  # m
+            _c_i64,  # k (RHS count)
+            _c_i64,  # num_blocks
+            _i64,    # blk_vxg_ptr
+            _i32,    # vxg_col
+            _i32,    # vxg_start
+            _i64,    # vxg_voff
+            _u32,    # vxg_masks
+            fp,      # packed
+            _c_i64,  # s_vxg
+            _c_i64,  # s_vvec
+            _i64,    # blk_ysize
+            _i64,    # blk_map_ptr
+            _i32,    # map
+            fp,      # X (n, k) row-major
+            fp,      # Y (m, k) row-major
             _c_i64,  # max_ysize
             _c_int,  # nthreads
         ],

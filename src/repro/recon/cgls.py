@@ -4,6 +4,12 @@ Solves ``min_x ||A x - y||_2`` without ever forming ``A^T A``; each
 iteration costs one forward and one adjoint SpMV.  The fastest-converging
 of the classical iterative methods for consistent CT data and a good
 stress of numerical robustness (breakdown guards, early exit).
+
+The sinogram may be a single vector (m,) or a stack (m, k); a stack is
+solved with batched SpMM products and *per-column* step sizes — every
+scalar of the classical recurrence (``gamma``, ``alpha``, ``beta``)
+becomes a k-vector, and converged or broken-down columns freeze while the
+rest keep iterating, so each slice matches its own single-vector run.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.recon.linops import ProjectionOperator
-from repro.utils.arrays import check_1d, ensure_dtype
+from repro.utils.arrays import as_column_batch
 
 
 def cgls_reconstruct(
@@ -32,7 +38,8 @@ def cgls_reconstruct(
     Parameters
     ----------
     rtol : float
-        Stop when ``||A^T r|| / ||A^T y||`` drops below this.
+        Stop when ``||A^T r|| / ||A^T y||`` drops below this (checked per
+        column for a sinogram stack).
     damping : float
         Tikhonov parameter ``lambda >= 0``: solves
         ``min ||A x - y||^2 + lambda ||x||^2`` (regularised CGLS, the
@@ -45,43 +52,54 @@ def cgls_reconstruct(
     if damping < 0:
         raise ValidationError("damping must be >= 0")
     m, n = op.shape
-    y = ensure_dtype(check_1d(sinogram, m, "sinogram"), op.dtype, "sinogram")
-    x = (
-        np.zeros(n, dtype=np.float64)
-        if x0 is None
-        else ensure_dtype(check_1d(x0, n, "x0"), np.float64, "x0").copy()
-    )
+    y, was_1d = as_column_batch(sinogram, m, "sinogram", op.dtype)
+    k_cols = y.shape[1]
+    if x0 is None:
+        x = np.zeros((n, k_cols), dtype=np.float64)
+    else:
+        x0b, x0_1d = as_column_batch(x0, n, "x0", np.float64)
+        if x0_1d != was_1d or x0b.shape[1] != k_cols:
+            raise ValidationError("x0 must match the sinogram batch shape")
+        x = x0b.copy()
 
     r = (y - op.forward(x.astype(op.dtype))).astype(np.float64)
     s = op.adjoint(r.astype(op.dtype)).astype(np.float64) - damping * x
     p = s.copy()
-    gamma = float(s @ s)
-    gamma0 = gamma or 1.0
+    gamma = np.einsum("ij,ij->j", s, s)
+    gamma0 = np.where(gamma > 0, gamma, 1.0)
+    active = np.ones(k_cols, dtype=bool)
 
     residual_gauge = obs_metrics.gauge(
         "cgls.residual", "last CGLS normal-equation residual norm"
     )
     iter_counter = obs_metrics.counter("cgls.iterations", "CGLS iterations run")
+    rnorm = float(np.sqrt(gamma.sum()))
     for k in range(iterations):
-        if gamma <= rtol * rtol * gamma0:
+        active &= gamma > rtol * rtol * gamma0
+        if not active.any():
             break
-        with span("cgls.iter", k=k) as it_span:
+        with span("cgls.iter", k=k, batch=k_cols) as it_span:
             q = op.forward(p.astype(op.dtype)).astype(np.float64)
-            qq = float(q @ q) + damping * float(p @ p)
-            if qq == 0.0:  # p in the null space; nothing more to gain
+            qq = np.einsum("ij,ij->j", q, q) + damping * np.einsum("ij,ij->j", p, p)
+            active &= qq > 0.0  # p column in the null space: freeze it
+            if not active.any():
                 break
-            alpha = gamma / qq
-            x += alpha * p
-            r -= alpha * q
+            alpha = np.zeros(k_cols)
+            np.divide(gamma, qq, out=alpha, where=active)
+            x += alpha[None, :] * p
+            r -= alpha[None, :] * q
             s = op.adjoint(r.astype(op.dtype)).astype(np.float64) - damping * x
-            gamma_new = float(s @ s)
-            rnorm = float(np.sqrt(gamma_new))
+            gamma_new = np.einsum("ij,ij->j", s, s)
+            rnorm = float(np.sqrt(gamma_new[active].sum()))
             it_span.set(residual=rnorm)
         residual_gauge.set(rnorm)
         iter_counter.inc()
         if callback is not None:
-            callback(k, x.astype(op.dtype), rnorm)
-        beta = gamma_new / gamma
-        p = s + beta * p
+            xk = x.astype(op.dtype)
+            callback(k, xk[:, 0] if was_1d else xk, rnorm)
+        beta = np.zeros(k_cols)
+        np.divide(gamma_new, gamma, out=beta, where=active & (gamma > 0))
+        p = s + beta[None, :] * p
         gamma = gamma_new
-    return x.astype(op.dtype)
+    out = x.astype(op.dtype)
+    return out[:, 0] if was_1d else out

@@ -2,10 +2,13 @@
 
 Solvers in this package only speak :class:`ProjectionOperator`:
 ``op.forward(x)`` is ``A x`` (forward projection) and ``op.adjoint(y)``
-is ``A^T y`` (back-projection).  Formats that implement
+is ``A^T y`` (back-projection).  Both accept a single vector or a 2-D
+stack of ``k`` vectors (multi-slice CT: ``x`` of shape (n, k), ``y`` of
+shape (m, k)) and return the matching shape.  Formats that implement
 ``transpose_spmv`` (CSR, CSC, MKL-like, both CSCVs) get a native adjoint;
-anything else falls back to an internally-built CSC copy, so every format
-can drive every solver.
+anything else falls back to an internally-built transposed CSR, assembled
+directly from the format's COO triplets — O(nnz) extra memory, never a
+dense copy — so every format can drive every solver.
 """
 
 from __future__ import annotations
@@ -33,11 +36,22 @@ class ProjectionOperator:
         return self.fmt.dtype
 
     def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """``y = A x``."""
+        """``y = A x`` — batched (SpMM) when *x* is a 2-D stack."""
+        x = np.asarray(x)
+        if x.ndim == 2:
+            return self.fmt.spmm(x, out)
         return self.fmt.spmv(x, out)
 
     def adjoint(self, y: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """``x = A^T y``; uses the format's native transpose when present."""
+        """``x = A^T y``; uses the format's native transpose when present.
+
+        A 2-D *y* of shape (m, k) back-projects the whole stack at once
+        through ``transpose_spmm`` when the format has one, else column
+        by column.
+        """
+        y = np.asarray(y)
+        if y.ndim == 2:
+            return self._adjoint_batch(y, out)
         native = getattr(self.fmt, "transpose_spmv", None)
         if native is not None:
             return native(y, out)
@@ -51,29 +65,44 @@ class ProjectionOperator:
         out[:] = res
         return out
 
+    def _adjoint_batch(self, Y: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        if Y.shape[0] != self.shape[0]:
+            raise ValidationError(f"y must have shape ({self.shape[0]}, k), got {Y.shape}")
+        k = Y.shape[1]
+        native_mm = getattr(self.fmt, "transpose_spmm", None)
+        if native_mm is not None:
+            return native_mm(Y, out)
+        native = getattr(self.fmt, "transpose_spmv", None)
+        if native is None:
+            if self._adj_fallback is None:
+                self._adj_fallback = self._build_fallback()
+            Yc = np.ascontiguousarray(Y, dtype=self.dtype)
+            return self._adj_fallback.spmm(Yc, out)
+        if out is None:
+            out = np.zeros((self.shape[1], k), dtype=self.dtype)
+        elif out.shape != (self.shape[1], k):
+            raise ValidationError(f"out must have shape ({self.shape[1]}, {k})")
+        for j in range(k):
+            out[:, j] = native(np.ascontiguousarray(Y[:, j]))
+        return out
+
     def _build_fallback(self) -> SpMVFormat:
-        from repro.sparse.coo import COOMatrix
+        """Transposed CSR assembled from the format's own COO triplets.
+
+        Swapping (rows, cols) and re-sorting is O(nnz) peak extra memory;
+        the matrix is never densified on this path.
+        """
         from repro.sparse.csr import CSRMatrix
 
-        dense_like = getattr(self.fmt, "to_dense", None)
-        if dense_like is None:  # pragma: no cover - ABC guarantees to_dense
-            raise ValidationError("format cannot provide an adjoint")
+        rows, cols, vals = self.fmt.to_coo_triplets()
         m, n = self.shape
-        dense = self.fmt.to_dense()
-        coo = COOMatrix.from_dense(dense.T, dtype=self.dtype)
-        return CSRMatrix.from_coo_matrix(coo)
+        return CSRMatrix.from_coo((n, m), cols, rows, vals, dtype=self.dtype)
 
     # ------------------------------------------------------------------ #
     # derived quantities the solvers need
 
     def row_norms_sq(self) -> np.ndarray:
-        """``||a_i||^2`` per row — ART step sizes.
-
-        Computed with two SpMV-style passes so it works for every format:
-        ``A^T`` applied to unit vectors is wasteful, so instead square via
-        ``(A .* A) 1`` using the dense fallback only if the format exposes
-        no value array.
-        """
+        """``||a_i||^2`` per row — ART step sizes."""
         vals, rows = self._values_and_rows()
         return np.bincount(rows, weights=vals.astype(np.float64) ** 2, minlength=self.shape[0])
 
@@ -88,16 +117,5 @@ class ProjectionOperator:
 
     def _values_rows_cols(self):
         """(vals, rows, cols) triplets of the underlying matrix."""
-        dense = self.fmt.to_dense() if self.shape[0] * self.shape[1] <= 1 << 22 else None
-        if dense is not None:
-            r, c = np.nonzero(dense)
-            return dense[r, c], r, c
-        # large matrix: all formats we ship can rebuild triplets cheaply
-        from repro.sparse.csr import CSRMatrix
-
-        if isinstance(self.fmt, CSRMatrix):
-            rows = np.repeat(np.arange(self.shape[0]), np.diff(self.fmt.row_ptr))
-            return self.fmt.vals, rows, self.fmt.col_idx.astype(np.int64)
-        raise ValidationError(
-            "row/col norms for large matrices need a CSRMatrix operator"
-        )
+        rows, cols, vals = self.fmt.to_coo_triplets()
+        return vals, rows, cols

@@ -5,6 +5,10 @@ views into ``num_subsets`` interleaved subsets and apply a SART update
 per subset instead of per full sweep, multiplying the effective iteration
 count.  Each subset update is SpMV over a row slice of the matrix — the
 workload distribution the paper's row-partitioned threading mirrors.
+
+The sinogram may be a single vector (m,) or a stack (m, k); a stack runs
+every subset update as a batched SpMM over the row slice and returns an
+(n, k) image stack with each slice equal to its single-sinogram run.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from repro.geometry.parallel_beam import ParallelBeamGeometry
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.sparse.csr import CSRMatrix
-from repro.utils.arrays import check_1d, ensure_dtype
+from repro.utils.arrays import as_column_batch
 
 
 def view_subsets(geom: ParallelBeamGeometry, num_subsets: int) -> list[np.ndarray]:
@@ -61,12 +65,15 @@ def os_sart_reconstruct(
     if not (0.0 < relax <= 2.0):
         raise ValidationError("relax must be in (0, 2]")
     m, n = csr.shape
-    y = ensure_dtype(check_1d(sinogram, m, "sinogram"), csr.dtype, "sinogram")
-    x = (
-        np.zeros(n, dtype=np.float64)
-        if x0 is None
-        else ensure_dtype(check_1d(x0, n, "x0"), np.float64, "x0").copy()
-    )
+    y, was_1d = as_column_batch(sinogram, m, "sinogram", csr.dtype)
+    k_cols = y.shape[1]
+    if x0 is None:
+        x = np.zeros((n, k_cols), dtype=np.float64)
+    else:
+        x0b, x0_1d = as_column_batch(x0, n, "x0", np.float64)
+        if x0_1d != was_1d or x0b.shape[1] != k_cols:
+            raise ValidationError("x0 must match the sinogram batch shape")
+        x = x0b.copy()
 
     subsets = view_subsets(geom, num_subsets)
     pieces = []
@@ -81,17 +88,22 @@ def os_sart_reconstruct(
 
     iter_counter = obs_metrics.counter("os_sart.iterations", "OS-SART passes run")
     for it in range(iterations):
-        with span("os_sart.iter", k=it, subsets=len(pieces)):
+        with span("os_sart.iter", k=it, subsets=len(pieces), batch=k_cols):
             for sub, rows, inv_r, inv_c in pieces:
-                resid = y[rows].astype(np.float64) - sub.spmv(x.astype(csr.dtype)).astype(np.float64)
-                back = sub.transpose_spmv((resid * inv_r).astype(csr.dtype)).astype(np.float64)
-                x += relax * inv_c * back
+                resid = y[rows].astype(np.float64) - sub.spmm(x.astype(csr.dtype)).astype(
+                    np.float64
+                )
+                scaled = np.ascontiguousarray((resid * inv_r[:, None]).astype(csr.dtype))
+                back = sub.transpose_spmm(scaled).astype(np.float64)
+                x += relax * inv_c[:, None] * back
                 if nonneg:
                     np.maximum(x, 0, out=x)
         iter_counter.inc()
         if callback is not None:
-            full_resid = y.astype(np.float64) - csr.spmv(x.astype(csr.dtype)).astype(np.float64)
+            full_resid = y.astype(np.float64) - csr.spmm(x.astype(csr.dtype)).astype(np.float64)
             rnorm = float(np.linalg.norm(full_resid))
             obs_metrics.gauge("os_sart.residual", "last OS-SART residual norm").set(rnorm)
-            callback(it, x.astype(csr.dtype), rnorm)
-    return x.astype(csr.dtype)
+            xk = x.astype(csr.dtype)
+            callback(it, xk[:, 0] if was_1d else xk, rnorm)
+    out = x.astype(csr.dtype)
+    return out[:, 0] if was_1d else out

@@ -111,3 +111,15 @@ class BSRMatrix(SpMVFormat):
                 : min(self.r, m - i0), : min(self.c, n - j0)
             ]
         return dense
+
+    def to_coo_triplets(self):
+        m, n = self.shape
+        nbr = self.block_row_ptr.shape[0] - 1
+        brow_of_block = np.repeat(
+            np.arange(nbr, dtype=np.int64), np.diff(self.block_row_ptr)
+        )
+        b, lr, lc = np.nonzero(self.blocks)
+        rows = brow_of_block[b] * self.r + lr
+        cols = self.block_col.astype(np.int64)[b] * self.c + lc
+        # edge tiles are zero-padded, so all stored nonzeros are in range
+        return rows, cols, self.blocks[b, lr, lc]

@@ -65,6 +65,9 @@ class COOMatrix(SpMVFormat):
         dense[self.rows, self.cols] = self.vals
         return dense
 
+    def to_coo_triplets(self):
+        return self.rows.astype(np.int64), self.cols.astype(np.int64), self.vals
+
     # ------------------------------------------------------------------ #
     # conversion helpers shared by the compressed formats
 

@@ -80,9 +80,13 @@ class CSCMatrix(SpMVFormat):
 
     def to_dense(self):
         dense = np.zeros(self.shape, dtype=self.dtype)
-        cols = np.repeat(np.arange(self.shape[1]), np.diff(self.col_ptr))
-        dense[self.row_idx, cols] = self.vals
+        rows, cols, vals = self.to_coo_triplets()
+        dense[rows, cols] = vals
         return dense
+
+    def to_coo_triplets(self):
+        cols = np.repeat(np.arange(self.shape[1], dtype=np.int64), np.diff(self.col_ptr))
+        return self.row_idx.astype(np.int64), cols, self.vals
 
     def col_nnz(self) -> np.ndarray:
         """Per-column nonzero counts (property P3 statistic)."""

@@ -85,23 +85,25 @@ class CSRMatrix(SpMVFormat):
         products = self.vals * x[self.col_idx]
         return segment_sum(products, self.row_ptr, y)
 
-    def spmm(self, X, out=None):
-        """Vectorised multi-RHS product: one reduceat pass over (nnz, k)."""
-        X = np.asarray(X)
-        if X.ndim != 2 or X.shape[0] != self.shape[1]:
-            raise ValidationError(f"X must have shape ({self.shape[1]}, k)")
-        Xc = np.ascontiguousarray(X, dtype=self.dtype)
-        k = Xc.shape[1]
-        if out is None:
-            out = np.zeros((self.shape[0], k), dtype=self.dtype)
-        products = self.vals[:, None] * Xc[self.col_idx.astype(np.int64)]
+    def spmm_into(self, X, Y):
+        """Multi-RHS product: C kernel when available, else one reduceat
+        pass over (nnz, k)."""
+        k = X.shape[1]
+        if k == 0:
+            Y[:] = 0
+            return Y
+        fn = dispatch.get("csr_spmm", self.dtype)
+        if fn is not None:
+            fn(self.shape[0], k, self.row_ptr, self.col_idx, self.vals, X, Y)
+            return Y
+        products = self.vals[:, None] * X[self.col_idx.astype(np.int64)]
         ptr = np.asarray(self.row_ptr, dtype=np.int64)
-        out[:] = 0
+        Y[:] = 0
         nonempty = ptr[1:] > ptr[:-1]
         if np.any(nonempty):
             red = np.add.reduceat(products, ptr[:-1][nonempty], axis=0)
-            out[nonempty] = red
-        return out
+            Y[nonempty] = red
+        return Y
 
     def memory_bytes(self):
         idx = self.row_ptr.nbytes + self.col_idx.nbytes
@@ -133,3 +135,22 @@ class CSRMatrix(SpMVFormat):
         contrib = self.vals * np.repeat(y_in, np.diff(self.row_ptr))
         np.add.at(out, self.col_idx, contrib)
         return out
+
+    def transpose_spmm(self, Y_in: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``X = A^T Y`` for a stack of sinograms ``Y`` of shape (m, k)."""
+        Y_in = np.asarray(Y_in)
+        if Y_in.ndim != 2 or Y_in.shape[0] != self.shape[0]:
+            raise ValidationError(f"Y must have shape ({self.shape[0]}, k)")
+        Yc = np.ascontiguousarray(Y_in, dtype=self.dtype)
+        k = Yc.shape[1]
+        if out is None:
+            out = np.zeros((self.shape[1], k), dtype=self.dtype)
+        else:
+            out[:] = 0
+        contrib = self.vals[:, None] * np.repeat(Yc, np.diff(self.row_ptr), axis=0)
+        np.add.at(out, self.col_idx, contrib)
+        return out
+
+    def to_coo_triplets(self):
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.row_ptr))
+        return rows, self.col_idx.astype(np.int64), self.vals

@@ -100,8 +100,16 @@ class CSR5Matrix(SpMVFormat):
 
     def to_dense(self):
         dense = np.zeros(self.shape, dtype=self.dtype)
-        vals = self.tile_vals[self.perm]
-        cols = self.tile_cols[self.perm]
-        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.row_ptr))
+        rows, cols, vals = self.to_coo_triplets()
         dense[rows, cols] = vals
         return dense
+
+    def to_coo_triplets(self):
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.row_ptr)
+        )
+        return (
+            rows,
+            self.tile_cols[self.perm].astype(np.int64),
+            self.tile_vals[self.perm],
+        )

@@ -104,7 +104,15 @@ class CVRMatrix(SpMVFormat):
 
     def to_dense(self):
         dense = np.zeros(self.shape, dtype=self.dtype)
+        rows, cols, vals = self.to_coo_triplets()
+        dense[rows, cols] = vals
+        return dense
+
+    def to_coo_triplets(self):
         rows = self.lane_rows.ravel()
         valid = rows >= 0
-        dense[rows[valid], self.lane_cols.ravel()[valid]] = self.lane_vals.ravel()[valid]
-        return dense
+        return (
+            rows[valid].astype(np.int64),
+            self.lane_cols.ravel()[valid].astype(np.int64),
+            self.lane_vals.ravel()[valid],
+        )

@@ -98,3 +98,12 @@ class ELLMatrix(SpMVFormat):
             valid = c >= 0
             dense[np.nonzero(valid)[0], c[valid]] = self.vals[k, valid]
         return dense
+
+    def to_coo_triplets(self):
+        valid = self.cols >= 0
+        lanes, rows = np.nonzero(valid)
+        return (
+            rows.astype(np.int64),
+            self.cols[lanes, rows].astype(np.int64),
+            self.vals[lanes, rows],
+        )

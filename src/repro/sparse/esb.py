@@ -125,3 +125,22 @@ class ESBMatrix(SpMVFormat):
                 valid = c >= 0
                 dense[rows[valid], c[valid]] = sv[k, valid]
         return dense
+
+    def to_coo_triplets(self):
+        rows_parts, cols_parts, vals_parts = [], [], []
+        for si, (sc, sv) in enumerate(self.slices):
+            s0 = si * self.slice_height
+            rows = self.perm[s0 : s0 + sc.shape[1]]
+            valid = sc >= 0
+            lanes, local = np.nonzero(valid)
+            rows_parts.append(rows[local].astype(np.int64))
+            cols_parts.append(sc[lanes, local].astype(np.int64))
+            vals_parts.append(sv[lanes, local])
+        if not rows_parts:
+            z = np.zeros(0, dtype=np.int64)
+            return z, z, np.zeros(0, dtype=self.dtype)
+        return (
+            np.concatenate(rows_parts),
+            np.concatenate(cols_parts),
+            np.concatenate(vals_parts),
+        )

@@ -114,3 +114,14 @@ class HYBMatrix(SpMVFormat):
             dense[np.nonzero(valid)[0], c[valid]] = self.ell_vals[k, valid]
         dense[self.coo_rows, self.coo_cols] = self.coo_vals
         return dense
+
+    def to_coo_triplets(self):
+        valid = self.ell_cols >= 0
+        lanes, rows = np.nonzero(valid)
+        return (
+            np.concatenate([rows.astype(np.int64), self.coo_rows.astype(np.int64)]),
+            np.concatenate(
+                [self.ell_cols[lanes, rows].astype(np.int64), self.coo_cols.astype(np.int64)]
+            ),
+            np.concatenate([self.ell_vals[lanes, rows], self.coo_vals]),
+        )

@@ -147,9 +147,9 @@ class SpMVFormat(abc.ABC):
         """Multi-vector product ``Y = A @ X`` with ``X`` of shape (n, k).
 
         The multi-slice CT workload: one system matrix applied to many
-        images (or sinograms) at once.  The default implementation runs
-        one SpMV per column; formats with a vectorised multi-RHS path
-        override it.
+        images (or sinograms) at once.  Validation and allocation live
+        here; the computation is delegated to :meth:`spmm_into`, which
+        formats with a vectorised multi-RHS path override.
         """
         X = np.asarray(X)
         if X.ndim != 2 or X.shape[0] != self._shape[1]:
@@ -157,13 +157,33 @@ class SpMVFormat(abc.ABC):
                 f"X must have shape ({self._shape[1]}, k), got {X.shape}"
             )
         k = X.shape[1]
+        Xc = np.ascontiguousarray(X, dtype=self._dtype)
         if out is None:
             out = np.zeros((self._shape[0], k), dtype=self._dtype)
         elif out.shape != (self._shape[0], k):
             raise ValidationError(f"out must have shape ({self._shape[0]}, {k})")
-        for j in range(k):
-            out[:, j] = self.spmv(np.ascontiguousarray(X[:, j], dtype=self._dtype))
-        return out
+        elif out.dtype != self._dtype or not out.flags.c_contiguous:
+            raise ValidationError(
+                f"out must be C-contiguous {self._dtype}, got {out.dtype}"
+            )
+        return self.spmm_into(Xc, out)
+
+    def spmm_into(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """Compute ``Y[:] = A @ X`` in place (X already validated (n, k)).
+
+        The default loops one SpMV per column; batched formats (CSR,
+        CSCV-Z, CSCV-M) override with a single multi-RHS pass.
+        """
+        for j in range(X.shape[1]):
+            Y[:, j] = self.spmv(np.ascontiguousarray(X[:, j]))
+        return Y
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Shape-dispatching product: SpMV for 1-D *x*, SpMM for 2-D."""
+        x = np.asarray(x)
+        if x.ndim == 2:
+            return self.spmm(x, out)
+        return self.spmv(x, out)
 
     def _check_x(self, x: np.ndarray) -> np.ndarray:
         x = check_1d(x, self._shape[1], "x")
@@ -183,6 +203,19 @@ class SpMVFormat(abc.ABC):
             dense[:, j] = self.spmv(e)
             e[j] = 0.0
         return dense
+
+    def to_coo_triplets(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(rows, cols, vals)`` of the stored nonzeros, any order.
+
+        Used by the adjoint fallback and the norm helpers, which must not
+        densify the matrix.  Every shipped format overrides this with a
+        direct O(nnz) extraction from its own arrays; this default (via
+        :meth:`to_dense`) exists only for out-of-tree subclasses and is
+        meant for small test matrices.
+        """
+        dense = self.to_dense()
+        r, c = np.nonzero(dense)
+        return r.astype(np.int64), c.astype(np.int64), dense[r, c]
 
     def index_bytes(self) -> int:
         """Bytes of index/metadata streamed per SpMV (from memory_bytes)."""

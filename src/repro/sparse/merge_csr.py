@@ -126,6 +126,12 @@ class MergeCSRMatrix(SpMVFormat):
 
     def to_dense(self):
         dense = np.zeros(self.shape, dtype=self.dtype)
-        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.row_ptr))
-        dense[rows, self.col_idx] = self.vals
+        rows, cols, vals = self.to_coo_triplets()
+        dense[rows, cols] = vals
         return dense
+
+    def to_coo_triplets(self):
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.row_ptr)
+        )
+        return rows, self.col_idx.astype(np.int64), self.vals

@@ -52,6 +52,10 @@ class _ScipyBacked(SpMVFormat):
     def to_dense(self):
         return np.asarray(self._m.todense(), dtype=self.dtype)
 
+    def to_coo_triplets(self):
+        coo = self._m.tocoo()
+        return coo.row.astype(np.int64), coo.col.astype(np.int64), coo.data
+
     def to_scipy(self):
         """Underlying scipy matrix (shared, do not mutate)."""
         return self._m

@@ -134,6 +134,10 @@ class SPC5Matrix(SpMVFormat):
 
     def to_dense(self):
         dense = np.zeros(self.shape, dtype=self.dtype)
-        rows = np.repeat(self.blk_row.astype(np.int64), np.diff(self.voff))
-        dense[rows, self._expanded_cols] = self.packed
+        rows, cols, vals = self.to_coo_triplets()
+        dense[rows, cols] = vals
         return dense
+
+    def to_coo_triplets(self):
+        rows = np.repeat(self.blk_row.astype(np.int64), np.diff(self.voff))
+        return rows, self._expanded_cols.astype(np.int64), self.packed

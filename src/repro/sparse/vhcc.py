@@ -98,3 +98,13 @@ class VHCCMatrix(SpMVFormat):
         for c0, prows, pcols, pvals in self.panels:
             dense[prows.astype(np.int64), c0 + pcols.astype(np.int64)] = pvals
         return dense
+
+    def to_coo_triplets(self):
+        if not self.panels:
+            z = np.zeros(0, dtype=np.int64)
+            return z, z, np.zeros(0, dtype=self.dtype)
+        return (
+            np.concatenate([p[1].astype(np.int64) for p in self.panels]),
+            np.concatenate([p[0] + p[2].astype(np.int64) for p in self.panels]),
+            np.concatenate([p[3] for p in self.panels]),
+        )

@@ -77,6 +77,27 @@ def check_1d(arr: np.ndarray, size: int | None = None, name: str = "vector") -> 
     return a
 
 
+def as_column_batch(
+    arr: np.ndarray, size: int, name: str, dtype
+) -> tuple[np.ndarray, bool]:
+    """Normalise a vector or stack to a 2-D ``(size, k)`` batch.
+
+    Returns ``(batch, was_1d)`` so solvers can run one batched code path
+    and squeeze the result back to 1-D when the caller passed a vector.
+    """
+    a = np.asarray(arr)
+    if a.ndim == 1:
+        a = check_1d(a, size, name)[:, None]
+        was_1d = True
+    elif a.ndim == 2:
+        if a.shape[0] != size:
+            raise ValidationError(f"{name} must have shape ({size}, k), got {a.shape}")
+        was_1d = False
+    else:
+        raise ValidationError(f"{name} must be 1-D or 2-D, got shape {a.shape}")
+    return ensure_dtype(a, dtype, name), was_1d
+
+
 def is_aligned(arr: np.ndarray, align: int = ALIGNMENT) -> bool:
     """True when *arr*'s data pointer is *align*-byte aligned."""
     return arr.ctypes.data % align == 0
