@@ -14,10 +14,9 @@ import time
 
 import numpy as np
 
-from repro import CSCVParams, CSCVZMatrix, build_ct_matrix
+from repro import CSCVParams, ParallelBeamGeometry, operator
 from repro.geometry.phantom import shepp_logan
 from repro.recon import (
-    ProjectionOperator,
     art_reconstruct,
     cgls_reconstruct,
     fbp_reconstruct,
@@ -43,11 +42,13 @@ def ascii_image(img: np.ndarray, width: int = 48) -> str:
 
 
 def main(image_size: int = 64) -> None:
-    coo, geom = build_ct_matrix(image_size, num_views=2 * image_size)
+    geom = ParallelBeamGeometry.for_image(image_size, 2 * image_size)
     truth = shepp_logan(image_size).ravel()
 
-    op = ProjectionOperator(CSCVZMatrix.from_ct(coo, geom, CSCVParams(8, 16, 2)))
-    print(f"matrix {coo.shape[0]}x{coo.shape[1]}, nnz {coo.nnz:,}")
+    # built once, then served from the persistent operator cache
+    op = operator(geom, fmt="cscv-z", params=CSCVParams(8, 16, 2),
+                  dtype=np.float64)
+    print(f"matrix {op.shape[0]}x{op.shape[1]}, nnz {op.fmt.nnz:,}")
 
     sinogram = op.forward(truth)
     # mild Poisson-style measurement noise

@@ -1,38 +1,38 @@
-"""Quickstart: build a CT matrix, convert to CSCV, run and verify SpMV.
+"""Quickstart: one operator() call from geometry to vectorized SpMV.
 
 Run:  python examples/quickstart.py [image_size]
 
 Walks the library's core loop in ~40 lines:
-1. generate a parallel-beam CT system matrix (the integral operator),
-2. convert it to the paper's CSCV format (both CSCV-Z and CSCV-M),
-3. run the vectorized SpMV and check it against the CSR reference,
-4. print the numbers the paper cares about: R_nnzE, GFLOP/s, memory.
+1. ask :func:`repro.operator` for the parallel-beam CT operator in the
+   paper's CSCV formats (built once, then served from the persistent
+   cache as zero-copy memory-mapped loads),
+2. run the vectorized SpMV and check it against the CSR reference,
+3. print the numbers the paper cares about: R_nnzE, GFLOP/s, memory.
 """
 
 import sys
 
 import numpy as np
 
-from repro import CSCVMMatrix, CSCVParams, CSCVZMatrix, build_ct_matrix
+from repro import CSCVParams, ParallelBeamGeometry, operator
 from repro.bench.harness import measure_format
-from repro.sparse import CSRMatrix
 
 
 def main(image_size: int = 64) -> None:
-    print(f"building {image_size}x{image_size} parallel-beam CT matrix ...")
-    coo, geom = build_ct_matrix(image_size, num_views=2 * image_size, dtype=np.float32)
+    print(f"building {image_size}x{image_size} parallel-beam CT operator ...")
+    geom = ParallelBeamGeometry.for_image(image_size, 2 * image_size)
     print(f"  {geom.describe()}")
-    print(f"  nnz = {coo.nnz:,}")
 
     params = CSCVParams(s_vvec=16, s_imgb=16, s_vxg=2)
-    print(f"\nconverting to CSCV with {params} ...")
-    z = CSCVZMatrix.from_ct(coo, geom, params)
-    m = CSCVMMatrix.from_data(z.data)  # shares the converted arrays
+    z = operator(geom, fmt="cscv-z", params=params).fmt
+    m = operator(geom, fmt="cscv-m", params=params).fmt
+    csr = operator(geom, fmt="csr").fmt
+    print(f"  nnz = {z.nnz:,}")
     print(f"  zero-padding rate R_nnzE = {z.r_nnze:.3f} (paper: 0.25-0.45)")
     print(f"  VxG index volume vs CSC  = {z.index_compression_vs_csc():.3f}")
 
-    x = np.linspace(0.5, 1.5, coo.shape[1], dtype=np.float32)
-    y_ref = CSRMatrix.from_coo_matrix(coo).spmv(x)
+    x = np.linspace(0.5, 1.5, z.shape[1], dtype=np.float32)
+    y_ref = csr.spmv(x)
     for name, fmt in (("CSCV-Z", z), ("CSCV-M", m)):
         y = fmt.spmv(x)
         rel = np.abs(y - y_ref).max() / np.abs(y_ref).max()
@@ -43,8 +43,7 @@ def main(image_size: int = 64) -> None:
             f"{rec.gflops:6.2f} GFLOP/s | matrix stream {mem_mib:6.1f} MiB"
         )
 
-    rec_csr = measure_format(CSRMatrix.from_coo_matrix(coo), iterations=20,
-                             max_seconds=1.0)
+    rec_csr = measure_format(csr, iterations=20, max_seconds=1.0)
     print(f"  CSR baseline: {rec_csr.gflops:6.2f} GFLOP/s")
     best = max(
         measure_format(z, iterations=20, max_seconds=1.0).gflops,

@@ -18,19 +18,31 @@ Public API highlights
 Quick start
 -----------
 >>> import numpy as np
->>> from repro import build_ct_matrix, CSCVZMatrix
->>> coo, geom = build_ct_matrix(64)             # 64x64 parallel-beam CT
->>> a = CSCVZMatrix.from_ct(coo, geom)          # convert to CSCV
->>> y = a @ np.ones(coo.shape[1])               # vectorized SpMV
+>>> import repro
+>>> op = repro.operator(64)                     # 64x64 parallel-beam CT
+>>> sino = op.forward(np.ones(op.shape[1], dtype=op.dtype))
+>>> back = op.adjoint(sino)                     # x = A^T y
+
+``operator()`` consults the persistent operator cache: the first call
+builds and stores the CSCV arrays, every later call (any process) loads
+them back memory-mapped in milliseconds.
 """
 
 from repro._version import __version__
-from repro.api import build_ct_matrix, build_format, spmv_all_formats
+from repro.api import (
+    SkippedFormat,
+    build_ct_matrix,
+    build_format,
+    operator,
+    spmv_all_formats,
+)
 from repro.core import (
     CSCVMMatrix,
     CSCVParams,
     CSCVZMatrix,
+    OperatorCache,
     autotune_parameters,
+    default_cache,
 )
 from repro.geometry import ParallelBeamGeometry, shepp_logan
 from repro.geometry.fan_beam import FanBeamGeometry
@@ -45,9 +57,13 @@ from repro.sparse import (
 
 __all__ = [
     "__version__",
+    "operator",
     "build_ct_matrix",
     "build_format",
     "spmv_all_formats",
+    "SkippedFormat",
+    "OperatorCache",
+    "default_cache",
     "CSCVParams",
     "CSCVZMatrix",
     "CSCVMMatrix",

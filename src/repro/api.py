@@ -1,18 +1,31 @@
-"""Convenience top-level API.
+"""Top-level API: one call from geometry to a ready operator.
 
-Small helpers wiring geometry -> matrix -> formats, so a downstream user
-(or an example script) gets from "image size" to "benchmark every format"
-in three calls.
+:func:`operator` is the library's front door — it resolves the geometry,
+runs the projector sweep, converts to the requested sparse format and
+wraps the result in a :class:`~repro.recon.linops.ProjectionOperator`,
+consulting the persistent operator cache (:mod:`repro.core.cache`) at
+every step so repeat constructions are near-instant memory-mapped loads.
+The older helpers :func:`build_ct_matrix` / :func:`build_format` are thin
+wrappers over the same internals and remain for scripts that want the raw
+COO matrix or a bare format instance.
+
+Error semantics at this boundary are uniform: problems with *your
+arguments* (unknown projector or format name, missing ``geom``,
+out-of-range parameters) raise :class:`~repro.errors.ValidationError`;
+problems *loading or validating stored data* raise
+:class:`~repro.errors.FormatError`.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.format_m import CSCVMMatrix
 from repro.core.format_z import CSCVZMatrix
 from repro.core.params import CSCVParams
-from repro.errors import ValidationError
+from repro.errors import FormatError, ValidationError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
 from repro.geometry.projector_pixel import pixel_driven_matrix
 from repro.geometry.projector_siddon import siddon_matrix
@@ -27,6 +40,192 @@ _PROJECTORS = {
 }
 
 
+def _resolve_geom(
+    image_size_or_geom, num_views: int | None = None
+) -> ParallelBeamGeometry:
+    """Accept an image size (int) or a ready geometry object."""
+    if isinstance(image_size_or_geom, ParallelBeamGeometry):
+        if num_views is not None:
+            raise ValidationError(
+                "num_views cannot be combined with an explicit geometry"
+            )
+        return image_size_or_geom
+    if isinstance(image_size_or_geom, (int, np.integer)):
+        return ParallelBeamGeometry.for_image(int(image_size_or_geom), num_views)
+    raise ValidationError(
+        "expected an image size (int) or a ParallelBeamGeometry, got "
+        f"{type(image_size_or_geom).__name__}"
+    )
+
+
+def _resolve_projector(projector: str):
+    try:
+        return _PROJECTORS[projector]
+    except KeyError:
+        raise ValidationError(
+            f"unknown projector {projector!r}; options: {sorted(_PROJECTORS)}"
+        ) from None
+
+
+def _resolve_format_class(name: str):
+    try:
+        return get_format(name)
+    except FormatError as exc:  # registry lookup failure = bad user argument
+        raise ValidationError(str(exc)) from None
+
+
+def _project_coo(
+    geom: ParallelBeamGeometry, projector: str, dtype
+) -> COOMatrix:
+    """Run the projector sweep: geometry -> canonical COO matrix."""
+    rows, cols, vals = _resolve_projector(projector)(geom, dtype=dtype)
+    return COOMatrix.from_coo(geom.shape, rows, cols, vals, dtype=dtype)
+
+
+def _cached_coo(
+    geom: ParallelBeamGeometry, projector: str, dtype, cache
+) -> COOMatrix:
+    """COO matrix for (geom, projector, dtype), through the cache.
+
+    The projector sweep itself is expensive enough to persist: every
+    format built for the same geometry shares one cached sweep.
+    """
+    from repro.core.cache import operator_key
+
+    if cache is None:
+        return _project_coo(geom, projector, dtype)
+    _resolve_projector(projector)  # validate before hashing
+    key = operator_key(
+        geom=geom, fmt="coo", projector=projector, dtype=dtype, kind="coo"
+    )
+    coo, _ = cache.get_or_build(
+        key, COOMatrix, lambda: _project_coo(geom, projector, dtype)
+    )
+    return coo
+
+
+def _construct_format(
+    name: str,
+    coo: COOMatrix,
+    *,
+    geom: ParallelBeamGeometry | None = None,
+    params: CSCVParams | None = None,
+    dtype=None,
+    **format_kwargs,
+) -> SpMVFormat:
+    """Shared format construction used by the facade and build_format."""
+    cls = _resolve_format_class(name)
+    if issubclass(cls, (CSCVZMatrix, CSCVMMatrix)):
+        if geom is None:
+            raise ValidationError(f"format {name!r} requires geom=")
+        return cls.from_ct(coo, geom, params, dtype=dtype, **format_kwargs)
+    kwargs = dict(format_kwargs)
+    kwargs.pop("reference_mode", None)  # CSCV-only knob
+    if dtype is not None:
+        kwargs["dtype"] = dtype
+    return cls.from_coo(coo.shape, coo.rows, coo.cols, coo.vals, **kwargs)
+
+
+def operator(
+    image_size_or_geom,
+    *,
+    fmt: str = "cscv-z",
+    projector: str = "strip",
+    params: CSCVParams | None = None,
+    dtype=np.float32,
+    num_views: int | None = None,
+    cache: bool = True,
+    cache_obj=None,
+    threads: int | None = None,
+    reference_mode: str = "ioblr",
+):
+    """Build (or load from cache) a ready CT projection operator.
+
+    The single choke point from "I want to reconstruct" to a forward/
+    adjoint operator pair::
+
+        op = repro.api.operator(256)           # cscv-z, strip, float32
+        sino = op.forward(image)
+        back = op.adjoint(sino)
+
+    Parameters
+    ----------
+    image_size_or_geom : int or ParallelBeamGeometry
+        Image edge length (geometry defaults via
+        :meth:`ParallelBeamGeometry.for_image`) or a full geometry.
+    fmt : str
+        Any registered format name (``repro.available_formats()``).
+    projector : str
+        ``"strip"`` (paper default), ``"pixel"`` or ``"siddon"``.
+    params : CSCVParams, optional
+        CSCV parameter triple; ignored by non-CSCV formats.
+    dtype : numpy dtype
+        float32 (default) or float64.
+    num_views : int, optional
+        View count when *image_size_or_geom* is an int.
+    cache : bool
+        Consult/populate the persistent operator cache (default on; also
+        gated globally by ``REPRO_CACHE``).
+    cache_obj : OperatorCache, optional
+        Explicit cache instance (tests, custom roots); defaults to the
+        process-configured cache.
+    threads : int, optional
+        Thread count for formats with threaded drivers.
+    reference_mode : str
+        CSCV reference-curve ablation (``"ioblr"`` / ``"btb"``).
+
+    Returns
+    -------
+    ProjectionOperator
+        Wrapping the requested format; ``op.fmt`` is the format instance.
+    """
+    from repro.core.cache import default_cache, operator_key
+    from repro.obs import metrics as obs_metrics
+    from repro.recon.linops import ProjectionOperator
+
+    geom = _resolve_geom(image_size_or_geom, num_views)
+    cls = _resolve_format_class(fmt)
+    _resolve_projector(projector)
+    dtype = np.dtype(dtype)
+    is_cscv = issubclass(cls, (CSCVZMatrix, CSCVMMatrix))
+    if is_cscv and params is None:
+        params = CSCVParams()
+
+    store = None
+    if cache:
+        store = cache_obj if cache_obj is not None else default_cache()
+        if not store.enabled:
+            store = None
+
+    def build() -> SpMVFormat:
+        coo = _cached_coo(geom, projector, dtype, store)
+        kwargs = {"reference_mode": reference_mode} if is_cscv else {}
+        if threads is not None and is_cscv:
+            kwargs["threads"] = threads
+        return _construct_format(
+            fmt, coo, geom=geom if is_cscv else None, params=params,
+            dtype=dtype, **kwargs,
+        )
+
+    if store is None:
+        return ProjectionOperator(build())
+
+    key = operator_key(
+        geom=geom,
+        fmt=fmt,
+        projector=projector,
+        dtype=dtype,
+        params=params if is_cscv else None,
+        reference_mode=reference_mode if is_cscv else "ioblr",
+    )
+    fmt_obj, cached = store.get_or_build(key, cls, build, threads=threads)
+    obs_metrics.counter(
+        "api.operator." + ("cached" if cached else "built"),
+        "operator() facade results served from cache vs built",
+    ).inc()
+    return ProjectionOperator(fmt_obj)
+
+
 def build_ct_matrix(
     image_size: int,
     *,
@@ -34,21 +233,25 @@ def build_ct_matrix(
     projector: str = "strip",
     dtype=np.float64,
     geom: ParallelBeamGeometry | None = None,
+    cache: bool = False,
 ) -> tuple[COOMatrix, ParallelBeamGeometry]:
-    """Build a parallel-beam CT system matrix.
+    """Build a parallel-beam CT system matrix (thin facade wrapper).
 
     Returns the canonical :class:`COOMatrix` plus the geometry (needed by
     the CSCV formats).  ``projector`` is ``"strip"`` (default, the paper's
     nnz density), ``"pixel"`` (2 bins/view) or ``"siddon"`` (exact rays).
+    With ``cache=True`` the projector sweep goes through the persistent
+    operator cache (:func:`operator` always does).
     """
-    if projector not in _PROJECTORS:
-        raise ValidationError(
-            f"unknown projector {projector!r}; options: {sorted(_PROJECTORS)}"
-        )
-    if geom is None:
-        geom = ParallelBeamGeometry.for_image(image_size, num_views)
-    rows, cols, vals = _PROJECTORS[projector](geom, dtype=dtype)
-    coo = COOMatrix.from_coo(geom.shape, rows, cols, vals, dtype=dtype)
+    geom = geom if geom is not None else _resolve_geom(image_size, num_views)
+    dtype = np.dtype(dtype)
+    if cache:
+        from repro.core.cache import default_cache
+
+        store = default_cache()
+        coo = _cached_coo(geom, projector, dtype, store if store.enabled else None)
+    else:
+        coo = _project_coo(geom, projector, dtype)
     return coo, geom
 
 
@@ -61,19 +264,28 @@ def build_format(
     dtype=None,
     **format_kwargs,
 ) -> SpMVFormat:
-    """Instantiate any registered format from a COO matrix.
+    """Instantiate any registered format from a COO matrix (thin wrapper).
 
     CSCV formats additionally need ``geom`` (and optionally ``params``).
+    For the cached end-to-end path use :func:`operator` instead.
     """
-    cls = get_format(name)
-    if issubclass(cls, (CSCVZMatrix, CSCVMMatrix)):
-        if geom is None:
-            raise ValidationError(f"format {name!r} requires geom=")
-        return cls.from_ct(coo, geom, params, dtype=dtype, **format_kwargs)
-    kwargs = dict(format_kwargs)
-    if dtype is not None:
-        kwargs["dtype"] = dtype
-    return cls.from_coo(coo.shape, coo.rows, coo.cols, coo.vals, **kwargs)
+    return _construct_format(
+        name, coo, geom=geom, params=params, dtype=dtype, **format_kwargs
+    )
+
+
+@dataclass(frozen=True)
+class SkippedFormat:
+    """Marker returned by :func:`spmv_all_formats` for unrunnable formats.
+
+    Falsy on purpose, so ``if results[name]`` distinguishes results from
+    skips without an isinstance check.
+    """
+
+    reason: str
+
+    def __bool__(self) -> bool:
+        return False
 
 
 def spmv_all_formats(
@@ -83,19 +295,26 @@ def spmv_all_formats(
     geom: ParallelBeamGeometry | None = None,
     formats: list[str] | None = None,
     params: CSCVParams | None = None,
-) -> dict[str, np.ndarray]:
+) -> dict[str, np.ndarray | SkippedFormat]:
     """Run ``y = A x`` through every requested format; returns name -> y.
 
     Useful for cross-validation: every result should agree to rounding.
-    Formats needing a geometry are skipped when ``geom`` is None.
+    Formats that cannot run (the CSCVs need a geometry) are never dropped
+    silently — their entry holds a :class:`SkippedFormat` naming why.
     """
     names = formats if formats is not None else available_formats()
-    out: dict[str, np.ndarray] = {}
+    out: dict[str, np.ndarray | SkippedFormat] = {}
     for name in names:
-        cls = get_format(name)
+        cls = _resolve_format_class(name)
         needs_geom = issubclass(cls, (CSCVZMatrix, CSCVMMatrix))
         if needs_geom and geom is None:
+            out[name] = SkippedFormat(
+                reason=f"format {name!r} requires geom= (CSCV follows the "
+                "integral-operator geometry); pass geom to include it"
+            )
             continue
-        fmt = build_format(name, coo, geom=geom if needs_geom else None, params=params)
+        fmt = _construct_format(
+            name, coo, geom=geom if needs_geom else None, params=params
+        )
         out[name] = fmt.spmv(np.asarray(x, dtype=fmt.dtype))
     return out

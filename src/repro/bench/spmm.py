@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.api import build_ct_matrix, build_format
+from repro.api import operator
 from repro.core.params import CSCVParams
 from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
@@ -111,11 +111,14 @@ def run_spmm_bench(
     params: CSCVParams | None = None,
     iterations: int = 20,
 ) -> list[SpMMRecord]:
-    """Sweep batch sizes for every named format on a ``size``^2 CT matrix."""
-    coo, geom = build_ct_matrix(size, dtype=dtype)
+    """Sweep batch sizes for every named format on a ``size``^2 CT matrix.
+
+    Operators come through :func:`repro.api.operator`, so repeat runs
+    reuse the persistent cache instead of rebuilding the system matrix.
+    """
     records: list[SpMMRecord] = []
     for name in format_names:
-        fmt = build_format(name, coo, geom=geom, params=params)
+        fmt = operator(size, fmt=name, dtype=dtype, params=params).fmt
         for batch in batch_sizes:
             records.append(
                 measure_spmm(fmt, int(batch), iterations=iterations)

@@ -4,7 +4,9 @@ Commands
 --------
 ``info``         environment, backend, registered formats, datasets
 ``spmv``         benchmark formats on a dataset or generated matrix
-``bench``        targeted micro-benchmarks (``bench spmm``: batched vs looped)
+``bench``        targeted micro-benchmarks (``spmm``: batched vs looped;
+                 ``cache``: cold operator build vs warm mmap load)
+``cache``        operator cache management (``ls``/``info``/``clear``/``warm``)
 ``convert``      build a CSCV matrix and save it to .npz
 ``reconstruct``  run an iterative solver on a phantom, report quality
 ``experiment``   regenerate one of the paper's tables/figures
@@ -27,6 +29,7 @@ import numpy as np
 def _cmd_info(args) -> int:
     from repro import __version__, available_formats, obs
     from repro.bench.datasets import DATASETS
+    from repro.core.cache import default_cache
     from repro.kernels import dispatch
 
     st = obs.status()
@@ -38,6 +41,10 @@ def _cmd_info(args) -> int:
     print(f"metrics        : {'on' if st['metrics'] else 'off'} "
           f"({st['metrics_registered']} instruments registered)")
     print(f"profiling      : {'on' if st['profiling'] else 'off'} (REPRO_PROFILE)")
+    cs = default_cache().stats()
+    print(f"operator cache : {'on' if cs['enabled'] else 'off'} "
+          f"({cs['entries']} entries, {cs['bytes'] / 1e6:.1f} MB of "
+          f"{cs['max_bytes'] / 1e9:.1f} GB) at {cs['root']}")
     print(f"formats        : {', '.join(available_formats())}")
     print("datasets       :")
     for name, ds in DATASETS.items():
@@ -72,25 +79,106 @@ def _cmd_spmv(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    if args.what != "spmm":
-        print(f"unknown bench {args.what!r}; options: spmm", file=sys.stderr)
-        return 2
-    from repro.bench.spmm import run_spmm_bench, render
     from repro.core.params import CSCVParams
 
     dtype = np.float64 if args.double else np.float32
-    batches = tuple(int(b) for b in args.batches.split(","))
-    names = tuple(args.formats.split(",")) if args.formats else (
-        "csr", "cscv-z", "cscv-m",
-    )
     params = CSCVParams(args.s_vvec, args.s_imgb, args.s_vxg)
-    records = run_spmm_bench(
-        size=args.size, batch_sizes=batches, format_names=names,
-        dtype=dtype, params=params, iterations=args.iterations,
-    )
-    print(render(records, title=f"SpMM vs looped SpMV, {args.size}^2 image "
-                                f"({np.dtype(dtype)})"))
-    return 0
+    if args.what == "spmm":
+        from repro.bench.spmm import render, run_spmm_bench
+
+        batches = tuple(int(b) for b in args.batches.split(","))
+        names = tuple(args.formats.split(",")) if args.formats else (
+            "csr", "cscv-z", "cscv-m",
+        )
+        records = run_spmm_bench(
+            size=args.size, batch_sizes=batches, format_names=names,
+            dtype=dtype, params=params, iterations=args.iterations,
+        )
+        print(render(records, title=f"SpMM vs looped SpMV, {args.size}^2 image "
+                                    f"({np.dtype(dtype)})"))
+        return 0
+    if args.what == "cache":
+        from repro.bench.cache import render, run_cache_bench
+
+        names = tuple(args.formats.split(",")) if args.formats else (
+            "cscv-z", "cscv-m",
+        )
+        records = run_cache_bench(
+            size=args.size, format_names=names, dtype=dtype, params=params,
+        )
+        print(render(records, title=f"operator cache: cold build vs warm mmap "
+                                    f"load, {args.size}^2 image ({np.dtype(dtype)})"))
+        bad = [r for r in records if not (r.spmv_identical and r.spmm_identical)]
+        if bad:
+            print("error: warm operator output differs from cold build",
+                  file=sys.stderr)
+            return 1
+        return 0
+    print(f"unknown bench {args.what!r}; options: spmm, cache", file=sys.stderr)
+    return 2
+
+
+def _cmd_cache(args) -> int:
+    from repro.core.cache import default_cache
+    from repro.utils.tables import Table
+
+    cache = default_cache()
+    if args.action == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"(cache empty: {cache.root})")
+            return 0
+        import datetime
+
+        t = Table(headers=["key", "kind", "format", "shape", "MB", "last used"],
+                  title=str(cache.root))
+        for e in entries:
+            shape = "x".join(str(s) for s in e.shape) if e.shape else "-"
+            t.add_row(
+                e.key[:16], e.kind, e.format or "-", shape,
+                f"{e.nbytes / 1e6:.1f}",
+                datetime.datetime.fromtimestamp(e.last_used).isoformat(
+                    sep=" ", timespec="seconds"),
+            )
+        print(t.render())
+        return 0
+    if args.action == "info":
+        st = cache.stats()
+        life = cache.lifetime_stats()
+        print(f"root     : {st['root']}")
+        print(f"enabled  : {st['enabled']} (REPRO_CACHE)")
+        print(f"verify   : {st['verify']} (REPRO_CACHE_VERIFY)")
+        print(f"entries  : {st['entries']}")
+        print(f"bytes    : {st['bytes']:,} of {st['max_bytes']:,} "
+              f"(REPRO_CACHE_MAX_BYTES)")
+        print(f"lifetime : hits {life.get('hits', 0)}, "
+              f"misses {life.get('misses', 0)}, "
+              f"stores {life.get('stores', 0)}, "
+              f"evictions {life.get('evictions', 0)}, "
+              f"corrupt {life.get('corrupt', 0)}")
+        return 0
+    if args.action == "clear":
+        n = len(cache.entries())
+        cache.clear()
+        print(f"removed {n} entr{'y' if n == 1 else 'ies'} from {cache.root}")
+        return 0
+    if args.action == "warm":
+        from repro.api import operator
+        from repro.core.params import CSCVParams
+
+        dtype = np.float64 if args.double else np.float32
+        params = CSCVParams(args.s_vvec, args.s_imgb, args.s_vxg)
+        for name in args.formats.split(","):
+            import time
+
+            t0 = time.perf_counter()
+            operator(args.size, fmt=name, projector=args.projector,
+                     dtype=dtype, params=params, cache_obj=cache)
+            print(f"warmed {name:8s} ({args.size}^2, {args.projector}) "
+                  f"in {time.perf_counter() - t0:.2f}s")
+        return 0
+    print(f"unknown cache action {args.action!r}", file=sys.stderr)
+    return 2
 
 
 def _cmd_convert(args) -> int:
@@ -111,18 +199,19 @@ def _cmd_convert(args) -> int:
 
 
 def _cmd_reconstruct(args) -> int:
-    from repro.api import build_ct_matrix
-    from repro.core.format_z import CSCVZMatrix
+    from repro.api import operator
     from repro.core.params import CSCVParams
+    from repro.geometry.parallel_beam import ParallelBeamGeometry
     from repro.geometry.phantom import shepp_logan
     from repro.recon import (
-        ProjectionOperator, art_reconstruct, cgls_reconstruct,
+        art_reconstruct, cgls_reconstruct,
         fbp_reconstruct, relative_error, sirt_reconstruct,
     )
 
-    coo, geom = build_ct_matrix(args.size, num_views=2 * args.size)
+    geom = ParallelBeamGeometry.for_image(args.size, 2 * args.size)
     truth = shepp_logan(args.size).ravel()
-    op = ProjectionOperator(CSCVZMatrix.from_ct(coo, geom, CSCVParams(8, 16, 2)))
+    op = operator(geom, fmt="cscv-z", params=CSCVParams(8, 16, 2),
+                  dtype=np.float64, cache=not args.no_cache)
     sino = op.forward(truth)
     solvers = {
         "sirt": lambda: sirt_reconstruct(op, sino, iterations=args.iterations),
@@ -213,7 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--s-vxg", type=int, default=2)
 
     bn = sub.add_parser("bench", help="targeted micro-benchmarks")
-    bn.add_argument("what", help="which bench to run (spmm)")
+    bn.add_argument("what", help="which bench to run (spmm, cache)")
     bn.add_argument("--size", type=int, default=256,
                     help="image side length (matrix is ~2*size^2 x size^2)")
     bn.add_argument("--formats", default="", help="comma-separated names")
@@ -224,6 +313,22 @@ def build_parser() -> argparse.ArgumentParser:
     bn.add_argument("--s-vvec", type=int, default=16)
     bn.add_argument("--s-imgb", type=int, default=16)
     bn.add_argument("--s-vxg", type=int, default=2)
+
+    ca = sub.add_parser("cache", help="inspect/manage the operator cache")
+    casub = ca.add_subparsers(dest="action", required=True)
+    casub.add_parser("ls", help="list cache entries (LRU order)")
+    casub.add_parser("info", help="cache location, size and lifetime counters")
+    casub.add_parser("clear", help="remove every cache entry")
+    cw = casub.add_parser("warm", help="pre-build operators into the cache")
+    cw.add_argument("--size", type=int, default=256)
+    cw.add_argument("--formats", default="cscv-z,cscv-m",
+                    help="comma-separated format names")
+    cw.add_argument("--projector", default="strip",
+                    choices=["strip", "pixel", "siddon"])
+    cw.add_argument("--double", action="store_true")
+    cw.add_argument("--s-vvec", type=int, default=16)
+    cw.add_argument("--s-imgb", type=int, default=16)
+    cw.add_argument("--s-vxg", type=int, default=2)
 
     cv = sub.add_parser("convert", help="build + save a CSCV matrix")
     cv.add_argument("output")
@@ -238,6 +343,8 @@ def build_parser() -> argparse.ArgumentParser:
     rc.add_argument("--solver", default="sirt")
     rc.add_argument("--size", type=int, default=64)
     rc.add_argument("--iterations", type=int, default=50)
+    rc.add_argument("--no-cache", action="store_true",
+                    help="bypass the persistent operator cache")
 
     ex = sub.add_parser("experiment", help="regenerate a paper table/figure")
     ex.add_argument("name", help="table1..table4, fig1..fig11")
@@ -260,6 +367,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "spmv": _cmd_spmv,
     "bench": _cmd_bench,
+    "cache": _cmd_cache,
     "convert": _cmd_convert,
     "reconstruct": _cmd_reconstruct,
     "experiment": _cmd_experiment,

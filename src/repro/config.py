@@ -14,8 +14,18 @@ Environment variables
     C compiler executable used to build the kernel library (default
     ``cc`` then ``gcc``).
 ``REPRO_CACHE_DIR``
-    Directory for the compiled kernel shared object (default:
-    ``~/.cache/repro-kernels``).
+    Root directory for every on-disk cache (compiled kernels, persisted
+    operators, autotune results).  Default: ``~/.cache/repro``.
+``REPRO_CACHE``
+    ``1`` (default) enables the persistent operator cache; ``0`` turns
+    every cache lookup into a miss-and-don't-store (builds still work).
+``REPRO_CACHE_MAX_BYTES``
+    Size budget for the operator cache in bytes (default 4 GiB).  After
+    every store the least-recently-used entries are evicted until the
+    cache fits the budget.  Accepts suffixes ``k``/``m``/``g``.
+``REPRO_CACHE_VERIFY``
+    ``1`` (default) checks stored array checksums on every cache load;
+    ``0`` trusts the entry (fastest, still validated structurally).
 ``REPRO_THREADS``
     Default thread count for multi-threaded SpMV (default: CPU count).
 ``REPRO_TRACE``
@@ -82,10 +92,58 @@ def env_trace() -> tuple[bool, str | None]:
     return True, raw
 
 
-def cache_dir() -> str:
-    """Directory where compiled kernels are cached."""
-    default = os.path.join(os.path.expanduser("~"), ".cache", "repro-kernels")
+def cache_root() -> str:
+    """Root directory of every repro on-disk cache (``REPRO_CACHE_DIR``)."""
+    default = os.path.join(os.path.expanduser("~"), ".cache", "repro")
     return os.environ.get("REPRO_CACHE_DIR", default)
+
+
+def cache_dir() -> str:
+    """Directory where compiled kernels are cached (``<root>/kernels``)."""
+    return os.path.join(cache_root(), "kernels")
+
+
+def operator_cache_dir() -> str:
+    """Directory of the persistent operator cache (``<root>/operators``)."""
+    return os.path.join(cache_root(), "operators")
+
+
+#: Default operator-cache size budget: 4 GiB.
+DEFAULT_CACHE_MAX_BYTES = 4 * 1024**3
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def _parse_size(raw: str) -> int:
+    raw = raw.strip().lower()
+    mult = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        mult = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    return int(float(raw) * mult)
+
+
+def env_cache_enabled() -> bool:
+    """``REPRO_CACHE``: persistent operator cache on (default) or off."""
+    raw = os.environ.get("REPRO_CACHE", "1").strip().lower()
+    return raw not in ("0", "false", "no", "off")
+
+
+def env_cache_max_bytes() -> int:
+    """``REPRO_CACHE_MAX_BYTES``: operator-cache size budget."""
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if not raw:
+        return DEFAULT_CACHE_MAX_BYTES
+    n = _parse_size(raw)
+    if n < 0:
+        raise ValueError("REPRO_CACHE_MAX_BYTES must be >= 0")
+    return n
+
+
+def env_cache_verify() -> bool:
+    """``REPRO_CACHE_VERIFY``: checksum entries on load (default on)."""
+    raw = os.environ.get("REPRO_CACHE_VERIFY", "1").strip().lower()
+    return raw not in ("0", "false", "no", "off")
 
 
 @dataclass
@@ -102,6 +160,12 @@ class RuntimeConfig:
     trace: bool = field(default_factory=lambda: env_trace()[0])
     #: Explicit JSONL dump path from ``REPRO_TRACE``, or None for default.
     trace_path: str | None = field(default_factory=lambda: env_trace()[1])
+    #: Persistent operator cache on/off (seeded from ``REPRO_CACHE``).
+    cache_enabled: bool = field(default_factory=env_cache_enabled)
+    #: Operator-cache size budget in bytes (``REPRO_CACHE_MAX_BYTES``).
+    cache_max_bytes: int = field(default_factory=env_cache_max_bytes)
+    #: Verify stored checksums on cache load (``REPRO_CACHE_VERIFY``).
+    cache_verify: bool = field(default_factory=env_cache_verify)
 
 
 #: Singleton runtime configuration.

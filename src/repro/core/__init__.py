@@ -19,11 +19,14 @@ Modules
 ``spmv``      sequential and multi-threaded SpMV drivers
 ``transpose`` x = A^T y back-projection (paper future work)
 ``autotune``  section V-D parameter selection
+``io``        serialization (.npz archives + mmap-able cache directories)
+``cache``     persistent content-addressed operator cache
 """
 
 from repro.core.autotune import AutotuneResult, autotune_parameters, parameter_sweep
 from repro.core.blocks import BlockGrid, MatrixBlock
 from repro.core.builder import build_cscv
+from repro.core.cache import OperatorCache, default_cache, operator_key
 from repro.core.format_m import CSCVMMatrix
 from repro.core.format_z import CSCVZMatrix
 from repro.core.ioblr import IOBLRMapping, build_ioblr_mapping, layout_simd_efficiency
@@ -42,4 +45,7 @@ __all__ = [
     "autotune_parameters",
     "parameter_sweep",
     "AutotuneResult",
+    "OperatorCache",
+    "default_cache",
+    "operator_key",
 ]

@@ -61,6 +61,44 @@ class AutotuneResult:
             out.append((name, p.s_imgb, p.s_vvec, p.s_vxg, point.r_nnze))
         return out
 
+    # ---- persistence (autotune results ride in the operator cache) ----
+
+    def to_payload(self) -> dict:
+        """JSON-safe dict round-tripping through :meth:`from_payload`."""
+        return {
+            "best_z": list(self.best_z.as_tuple()),
+            "best_m": list(self.best_m.as_tuple()),
+            "points": [
+                {
+                    "params": list(pt.params.as_tuple()),
+                    "r_nnze": pt.r_nnze,
+                    "memory_z": pt.memory_z,
+                    "memory_m": pt.memory_m,
+                    "gflops_z": pt.gflops_z,
+                    "gflops_m": pt.gflops_m,
+                }
+                for pt in self.points
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AutotuneResult":
+        return cls(
+            best_z=CSCVParams(*payload["best_z"]),
+            best_m=CSCVParams(*payload["best_m"]),
+            points=[
+                SweepPoint(
+                    params=CSCVParams(*pt["params"]),
+                    r_nnze=pt["r_nnze"],
+                    memory_z=pt["memory_z"],
+                    memory_m=pt["memory_m"],
+                    gflops_z=pt["gflops_z"],
+                    gflops_m=pt["gflops_m"],
+                )
+                for pt in payload["points"]
+            ],
+        )
+
 
 def parameter_sweep(
     coo,
@@ -115,6 +153,31 @@ def _model_score(point: SweepPoint, which: str) -> float:
     return 1.0 / point.memory_m
 
 
+def _autotune_key(coo, geom, dtype, scorer, iterations, grids) -> str:
+    """Cache key: everything the sweep outcome depends on.
+
+    Measured scores are host-specific, so the key includes the machine
+    signature for ``scorer="measure"`` (the model scorer is portable).
+    """
+    import os
+    import platform
+
+    from repro.core.cache import operator_key
+
+    extra = {
+        "scorer": scorer,
+        "nnz": int(coo.nnz),
+        "grids": {k: list(v) for k, v in sorted(grids.items())},
+    }
+    if scorer == "measure":
+        extra["iterations"] = int(iterations)
+        extra["host"] = f"{platform.machine()}/{os.cpu_count()}"
+    return operator_key(
+        geom=geom, fmt="autotune", projector="-", dtype=dtype,
+        kind="autotune", extra=extra,
+    )
+
+
 def autotune_parameters(
     coo,
     geom: ParallelBeamGeometry,
@@ -122,6 +185,7 @@ def autotune_parameters(
     dtype=np.float32,
     scorer: str = "measure",
     iterations: int = 10,
+    cache: bool = True,
     **grids,
 ) -> AutotuneResult:
     """Run the sweep and apply the paper's selection rule.
@@ -131,9 +195,27 @@ def autotune_parameters(
     scorer : str
         ``"measure"`` (default) picks by measured GFLOP/s; ``"model"``
         picks by the analytic proxy (deterministic, timing-free).
+    cache : bool
+        Persist/reuse the result through the operator cache (default on,
+        also gated by ``REPRO_CACHE``) so the sweep is pay-once per
+        (matrix, geometry, grids, scorer) — and per host when measuring.
     """
     if scorer not in ("measure", "model"):
         raise AutotuneError(f"unknown scorer {scorer!r}")
+    store = None
+    key = None
+    if cache:
+        from repro.core.cache import default_cache
+
+        store = default_cache()
+        if store.enabled:
+            key = _autotune_key(coo, geom, dtype, scorer, iterations, grids)
+            payload = store.load_json(key)
+            if payload is not None:
+                try:
+                    return AutotuneResult.from_payload(payload)
+                except (KeyError, TypeError, ValueError):
+                    store.evict(key)  # stale/corrupt payload: re-sweep
     points = parameter_sweep(
         coo,
         geom,
@@ -164,4 +246,7 @@ def autotune_parameters(
     else:
         best_z = max(points, key=lambda p: _model_score(p, "z")).params
         best_m = max(points, key=lambda p: _model_score(p, "m")).params
-    return AutotuneResult(best_z=best_z, best_m=best_m, points=points)
+    result = AutotuneResult(best_z=best_z, best_m=best_m, points=points)
+    if store is not None and key is not None:
+        store.store_json(key, result.to_payload())
+    return result

@@ -63,6 +63,17 @@ class CSCVMMatrix(SpMVFormat):
         return cls(z.data)
 
     # ------------------------------------------------------------------ #
+    # persistence (operator-cache hooks; shared CSCVData layout with Z)
+
+    cache_state = CSCVZMatrix.cache_state
+
+    @classmethod
+    def from_cache_state(cls, meta, arrays, *, threads=None, **kwargs):
+        """Wrap cached (possibly memory-mapped) CSCV arrays directly."""
+        z = CSCVZMatrix.from_cache_state(meta, arrays, threads=threads, **kwargs)
+        return cls(z.data, threads)
+
+    # ------------------------------------------------------------------ #
 
     def spmv_into(self, x, y):
         x = self._check_x(x)

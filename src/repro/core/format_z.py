@@ -15,7 +15,7 @@ from repro.config import INDEX_DTYPE
 from repro.core.builder import CSCVData, build_cscv
 from repro.core.params import CSCVParams
 from repro.core.spmv import resolve_flat_rows_z, spmm_z, spmv_z
-from repro.errors import FormatError
+from repro.errors import FormatError, ValidationError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
 from repro.sparse.matrix_base import SpMVFormat, register_format
 
@@ -53,7 +53,7 @@ class CSCVZMatrix(SpMVFormat):
         """
         params = params or CSCVParams()
         if coo.shape != (geom.num_rays, geom.num_pixels):
-            raise FormatError(
+            raise ValidationError(
                 f"matrix shape {coo.shape} does not match geometry "
                 f"{(geom.num_rays, geom.num_pixels)}"
             )
@@ -67,11 +67,41 @@ class CSCVZMatrix(SpMVFormat):
     def from_coo(cls, shape, rows, cols, vals, *, geom=None, params=None, **kwargs):
         """SpMVFormat contract; requires ``geom=`` (CSCV needs the operator)."""
         if geom is None:
-            raise FormatError("CSCV requires geom= (the integral-operator geometry)")
+            raise ValidationError(
+                "CSCV requires geom= (the integral-operator geometry)"
+            )
         from repro.sparse.coo import COOMatrix
 
         coo = COOMatrix.from_coo(shape, rows, cols, vals, dtype=kwargs.pop("dtype", None))
         return cls.from_ct(coo, geom, params, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # persistence (operator-cache hooks; arrays restore zero-copy)
+
+    def cache_state(self):
+        """Native CSCV arrays — restoring needs no conversion at all."""
+        from repro.core.io import _ARRAYS, cscv_meta_array
+
+        meta = {"kind": "cscv", "dtype": str(self.dtype)}
+        arrays = {"_cscv_meta": cscv_meta_array(self.data)}
+        for name in _ARRAYS:
+            arrays[name] = getattr(self.data, name)
+        return meta, arrays
+
+    @classmethod
+    def from_cache_state(cls, meta, arrays, *, threads=None, **kwargs):
+        """Wrap cached (possibly memory-mapped) CSCV arrays directly."""
+        if meta.get("kind") != "cscv":
+            raise FormatError(
+                f"{cls.__name__} cannot restore cache entries of kind "
+                f"{meta.get('kind')!r}"
+            )
+        from repro.core.io import cscv_data_from_arrays
+
+        data = cscv_data_from_arrays(
+            arrays["_cscv_meta"], arrays, source="<operator-cache>"
+        )
+        return cls(data, threads)
 
     # ------------------------------------------------------------------ #
     # SpMV

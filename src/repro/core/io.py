@@ -4,11 +4,26 @@ The Fig 7 pipeline's conversion step costs hundreds of milliseconds to
 seconds; production CT reconstructors convert once per scanner geometry
 and reuse the matrix across patients.  This module persists a
 :class:`~repro.core.builder.CSCVData` (plus its parameter triple and
-shape) to a single compressed ``.npz`` and restores it bit-exactly.
+shape) in two layouts:
+
+* a single compressed ``.npz`` (:func:`save_cscv` / :func:`load_cscv`)
+  for hand-managed files — compact, but decompressed into fresh arrays
+  on every load;
+* a directory of raw ``.npy`` files (:func:`save_cscv_dir` /
+  :func:`load_cscv_dir`) — the persistent operator cache's layout, where
+  every array loads with ``np.load(..., mmap_mode="r")``: zero-copy,
+  lazily paged, and shared read-only across worker processes through the
+  OS page cache.
+
+Both writers are atomic (temp name + ``os.replace``) so a killed process
+can never leave a truncated entry behind.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -40,10 +55,9 @@ _ARRAYS = (
 )
 
 
-def save_cscv(path, data: CSCVData) -> None:
-    """Write *data* to *path* as a compressed ``.npz``."""
-    path = Path(path)
-    meta = np.array(
+def cscv_meta_array(data: CSCVData) -> np.ndarray:
+    """The 7-int64 header stored next to the arrays (see ``_validate``)."""
+    return np.array(
         [
             FORMAT_VERSION,
             data.shape[0],
@@ -55,8 +69,51 @@ def save_cscv(path, data: CSCVData) -> None:
         ],
         dtype=np.int64,
     )
+
+
+def cscv_data_from_arrays(
+    meta: np.ndarray, arrays: dict, *, source="<arrays>", validate: bool = True
+) -> CSCVData:
+    """Reassemble a :class:`CSCVData` from a meta header + array dict.
+
+    Shared by the ``.npz`` loader and the cache's mmap loader; *arrays*
+    may be memory-mapped — they are used as-is, never copied.
+    """
+    meta = np.asarray(meta)
+    if validate:
+        _validate(source, meta, arrays)
+    params = CSCVParams(int(meta[4]), int(meta[5]), int(meta[6]))
+    return CSCVData(
+        shape=(int(meta[1]), int(meta[2])),
+        nnz=int(meta[3]),
+        params=params,
+        dtype=arrays["values"].dtype,
+        **{name: arrays[name] for name in _ARRAYS},
+    )
+
+
+def save_cscv(path, data: CSCVData) -> None:
+    """Write *data* to *path* as a compressed ``.npz`` (atomically).
+
+    The archive is assembled in a temp file in the same directory and
+    ``os.replace``d into place, so *path* either holds the complete old
+    content or the complete new content — never a truncated archive.
+    """
+    path = Path(path)
     arrays = {name: getattr(data, name) for name in _ARRAYS}
-    np.savez_compressed(path, _meta=meta, **arrays)
+    fd, tmp = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, _meta=cscv_meta_array(data), **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _check_ptr(name: str, ptr: np.ndarray, end: int | None = None) -> None:
@@ -74,7 +131,7 @@ def _check_ptr(name: str, ptr: np.ndarray, end: int | None = None) -> None:
         )
 
 
-def _validate(path: Path, meta: np.ndarray, arrays: dict) -> None:
+def _validate(path, meta: np.ndarray, arrays: dict) -> None:
     """Cross-check the loaded arrays against the metadata.
 
     A truncated download or a file edited by other tooling should fail
@@ -181,12 +238,81 @@ def load_cscv(path) -> CSCVData:
         if missing:
             raise FormatError(f"CSCV file missing arrays: {missing}")
         arrays = {name: z[name] for name in _ARRAYS}
-    _validate(path, meta, arrays)
-    params = CSCVParams(int(meta[4]), int(meta[5]), int(meta[6]))
-    return CSCVData(
-        shape=(int(meta[1]), int(meta[2])),
-        nnz=int(meta[3]),
-        params=params,
-        dtype=arrays["values"].dtype,
-        **arrays,
+    return cscv_data_from_arrays(meta, arrays, source=path)
+
+
+# ---------------------------------------------------------------------- #
+# directory layout (persistent operator cache; zero-copy mmap loads)
+
+#: file name of the meta header inside a CSCV directory
+META_FILE = "_meta.npy"
+
+
+def save_cscv_dir(path, data: CSCVData) -> Path:
+    """Write *data* as a directory of raw ``.npy`` files (atomically).
+
+    Arrays are staged into a sibling temp directory and the whole
+    directory is ``os.replace``d into place, so concurrent readers see
+    either no entry or a complete one.  Returns the final path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = Path(
+        tempfile.mkdtemp(prefix=path.name + ".", suffix=".tmp", dir=path.parent)
     )
+    try:
+        np.save(tmp / META_FILE, cscv_meta_array(data))
+        for name in _ARRAYS:
+            np.save(tmp / f"{name}.npy", getattr(data, name))
+        if path.exists():
+            shutil.rmtree(path)
+        os.replace(tmp, path)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return path
+
+
+def load_cscv_dir(path, *, mmap_mode: str | None = "r") -> CSCVData:
+    """Restore a :class:`CSCVData` saved by :func:`save_cscv_dir`.
+
+    With the default ``mmap_mode="r"`` every array is memory-mapped
+    read-only: loading costs a handful of page faults instead of a full
+    decompress, and any number of processes mapping the same entry share
+    one physical copy through the page cache.  Pass ``mmap_mode=None``
+    for private in-memory copies.
+
+    Raises
+    ------
+    FormatError
+        On missing files, version mismatch, or internal inconsistency
+        (same validation as :func:`load_cscv`).
+    """
+    path = Path(path)
+    meta_path = path / META_FILE
+    if not meta_path.is_file():
+        raise FormatError(f"{path} is not a CSCV directory (no {META_FILE})")
+    try:
+        meta = np.load(meta_path)
+    except (OSError, ValueError) as exc:
+        raise FormatError(f"{meta_path}: unreadable meta header: {exc}") from exc
+    if meta.size < 1:
+        raise FormatError(f"{path} is not a CSCV directory (empty meta)")
+    if int(meta.flat[0]) != FORMAT_VERSION:
+        raise FormatError(
+            f"CSCV dir version {int(meta.flat[0])} != supported {FORMAT_VERSION}"
+        )
+    arrays = {}
+    missing = []
+    for name in _ARRAYS:
+        f = path / f"{name}.npy"
+        if not f.is_file():
+            missing.append(name)
+            continue
+        try:
+            arrays[name] = np.load(f, mmap_mode=mmap_mode)
+        except (OSError, ValueError) as exc:
+            raise FormatError(f"{f}: unreadable array: {exc}") from exc
+    if missing:
+        raise FormatError(f"CSCV dir missing arrays: {missing}")
+    return cscv_data_from_arrays(meta, arrays, source=path)

@@ -17,4 +17,10 @@ kernel; set ``REPRO_BACKEND=numpy`` to disable the compiled path.
 
 from repro.kernels import dispatch
 
-__all__ = ["dispatch"]
+#: Python-side mirror of ``kernels_abi_version()`` in ``c_src/kernels.c``.
+#: Bump both together whenever a kernel signature or array layout changes;
+#: the persistent operator cache keys entries on this value so stale array
+#: layouts can never be fed to newer kernels.
+KERNELS_ABI_VERSION = 4
+
+__all__ = ["dispatch", "KERNELS_ABI_VERSION"]

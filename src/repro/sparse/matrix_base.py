@@ -221,6 +221,56 @@ class SpMVFormat(abc.ABC):
         """Bytes of index/metadata streamed per SpMV (from memory_bytes)."""
         return int(self.memory_bytes()["indices"])
 
+    # ------------------------------------------------------------------ #
+    # persistence hooks (the operator cache's per-format serialization)
+
+    def cache_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """``(meta, arrays)`` capturing this instance for the operator cache.
+
+        The base implementation stores the COO triplets — restoring skips
+        the (dominant) projector sweep but re-runs this format's own
+        ``from_coo`` conversion.  Formats whose arrays can be used
+        directly (the CSCVs) override this pair with their native arrays
+        so a restore is a zero-copy reconstruction.
+        """
+        rows, cols, vals = self.to_coo_triplets()
+        meta = {
+            "kind": "coo",
+            "shape": [int(self._shape[0]), int(self._shape[1])],
+            "dtype": str(self._dtype),
+        }
+        return meta, {
+            "rows": np.ascontiguousarray(rows, dtype=np.int64),
+            "cols": np.ascontiguousarray(cols, dtype=np.int64),
+            "vals": np.ascontiguousarray(vals, dtype=self._dtype),
+        }
+
+    @classmethod
+    def from_cache_state(
+        cls, meta: dict, arrays: dict[str, np.ndarray], *, threads=None, **kwargs
+    ) -> "SpMVFormat":
+        """Rebuild an instance from :meth:`cache_state` output.
+
+        *threads* is accepted for signature parity with the CSCV
+        overrides and ignored here (COO-built formats pick their thread
+        count up from ``config.runtime`` at SpMV time).  Raises
+        :class:`~repro.errors.FormatError` when *meta* does not describe
+        a state this class can restore.
+        """
+        if meta.get("kind") != "coo":
+            raise FormatError(
+                f"{cls.__name__} cannot restore cache entries of kind "
+                f"{meta.get('kind')!r}"
+            )
+        m, n = meta["shape"]
+        return cls.from_coo(
+            (int(m), int(n)),
+            np.asarray(arrays["rows"]),
+            np.asarray(arrays["cols"]),
+            np.asarray(arrays["vals"]),
+            **kwargs,
+        )
+
     def describe(self) -> dict:
         """Human-readable summary used by the bench reports."""
         mem = self.memory_bytes()

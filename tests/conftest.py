@@ -15,6 +15,21 @@ from repro.api import build_ct_matrix
 from repro.geometry.parallel_beam import ParallelBeamGeometry
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_operator_cache(tmp_path_factory):
+    """Point the operator cache at a throwaway root for the whole session.
+
+    Patches :func:`repro.config.operator_cache_dir` rather than
+    ``REPRO_CACHE_DIR`` so the compiled-kernel cache (and its warm .so
+    files) stays untouched.
+    """
+    root = str(tmp_path_factory.mktemp("operator-cache"))
+    prev = config.operator_cache_dir
+    config.operator_cache_dir = lambda: root
+    yield root
+    config.operator_cache_dir = prev
+
+
 @pytest.fixture(scope="session")
 def small_ct():
     """32x32 strip-model CT matrix + geometry (float64)."""

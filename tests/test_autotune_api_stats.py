@@ -115,9 +115,15 @@ class TestTopLevelAPI:
             assert rel < 1e-6, name
 
     def test_spmv_all_formats_skips_cscv_without_geom(self, ct):
+        from repro.api import SkippedFormat
+
         coo, _ = ct
         results = spmv_all_formats(coo, np.ones(coo.shape[1]), formats=["csr", "cscv-z"])
-        assert "csr" in results and "cscv-z" not in results
+        assert "csr" in results and "cscv-z" in results
+        skip = results["cscv-z"]
+        assert isinstance(skip, SkippedFormat) and not skip
+        assert "geom=" in skip.reason
+        assert results["csr"].shape == (coo.shape[0],)
 
 
 class TestStats:

@@ -11,7 +11,7 @@ from repro.core.format_m import CSCVMMatrix
 from repro.core.format_z import CSCVZMatrix
 from repro.core.params import CSCVParams
 from repro.core.spmv import spmv_m, spmv_z
-from repro.errors import FormatError
+from repro.errors import ValidationError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
@@ -160,12 +160,12 @@ class TestConstructionErrors:
         coo, _, _, _ = setup
         wrong = ParallelBeamGeometry(image_size=8, num_bins=13, num_views=4,
                                      delta_angle_deg=1.0)
-        with pytest.raises(FormatError):
+        with pytest.raises(ValidationError):
             CSCVZMatrix.from_ct(coo, wrong)
 
     def test_from_coo_requires_geom(self, setup):
         coo, _, _, _ = setup
-        with pytest.raises(FormatError):
+        with pytest.raises(ValidationError):
             CSCVZMatrix.from_coo(coo.shape, coo.rows, coo.cols, coo.vals)
 
     def test_from_coo_with_geom(self, setup):

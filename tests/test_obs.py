@@ -387,8 +387,10 @@ class TestHarnessAndCLI:
         prev_enabled = obs.tracer.enabled
         obs.reset()
         try:
+            # --no-cache: the assertion below wants the build spans, which
+            # a warm operator-cache hit would legitimately skip
             assert main(["reconstruct", "--solver", "sirt", "--size", "16",
-                         "--iterations", "2"]) == 0
+                         "--iterations", "2", "--no-cache"]) == 0
         finally:
             obs.tracer.enabled = prev_enabled
         assert target.exists()
