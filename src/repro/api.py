@@ -75,31 +75,36 @@ def _resolve_format_class(name: str):
 
 
 def _project_coo(
-    geom: ParallelBeamGeometry, projector: str, dtype
+    geom: ParallelBeamGeometry, projector: str, dtype, workers: int | None = None
 ) -> COOMatrix:
     """Run the projector sweep: geometry -> canonical COO matrix."""
-    rows, cols, vals = _resolve_projector(projector)(geom, dtype=dtype)
+    rows, cols, vals = _resolve_projector(projector)(
+        geom, dtype=dtype, workers=workers
+    )
     return COOMatrix.from_coo(geom.shape, rows, cols, vals, dtype=dtype)
 
 
 def _cached_coo(
-    geom: ParallelBeamGeometry, projector: str, dtype, cache
+    geom: ParallelBeamGeometry, projector: str, dtype, cache,
+    workers: int | None = None,
 ) -> COOMatrix:
     """COO matrix for (geom, projector, dtype), through the cache.
 
     The projector sweep itself is expensive enough to persist: every
-    format built for the same geometry shares one cached sweep.
+    format built for the same geometry shares one cached sweep.  The
+    sweep emits identical triplets for any ``workers`` (see
+    :mod:`repro.geometry.sweep`), so the key never includes it.
     """
     from repro.core.cache import operator_key
 
     if cache is None:
-        return _project_coo(geom, projector, dtype)
+        return _project_coo(geom, projector, dtype, workers)
     _resolve_projector(projector)  # validate before hashing
     key = operator_key(
         geom=geom, fmt="coo", projector=projector, dtype=dtype, kind="coo"
     )
     coo, _ = cache.get_or_build(
-        key, COOMatrix, lambda: _project_coo(geom, projector, dtype)
+        key, COOMatrix, lambda: _project_coo(geom, projector, dtype, workers)
     )
     return coo
 
@@ -120,7 +125,8 @@ def _construct_format(
             raise ValidationError(f"format {name!r} requires geom=")
         return cls.from_ct(coo, geom, params, dtype=dtype, **format_kwargs)
     kwargs = dict(format_kwargs)
-    kwargs.pop("reference_mode", None)  # CSCV-only knob
+    kwargs.pop("reference_mode", None)   # CSCV-only knobs
+    kwargs.pop("build_workers", None)
     if dtype is not None:
         kwargs["dtype"] = dtype
     return cls.from_coo(coo.shape, coo.rows, coo.cols, coo.vals, **kwargs)
@@ -138,6 +144,7 @@ def operator(
     cache_obj=None,
     threads: int | None = None,
     reference_mode: str = "ioblr",
+    build_workers: int | None = None,
 ):
     """Build (or load from cache) a ready CT projection operator.
 
@@ -173,6 +180,11 @@ def operator(
         Thread count for formats with threaded drivers.
     reference_mode : str
         CSCV reference-curve ablation (``"ioblr"`` / ``"btb"``).
+    build_workers : int, optional
+        Worker threads for the cold build (projector sweep + CSCV
+        packing); defaults to ``REPRO_BUILD_WORKERS``.  The built
+        operator — and its cache entry — is bitwise-identical for any
+        value, so this is purely a wall-clock knob.
 
     Returns
     -------
@@ -198,8 +210,11 @@ def operator(
             store = None
 
     def build() -> SpMVFormat:
-        coo = _cached_coo(geom, projector, dtype, store)
-        kwargs = {"reference_mode": reference_mode} if is_cscv else {}
+        coo = _cached_coo(geom, projector, dtype, store, build_workers)
+        kwargs = (
+            {"reference_mode": reference_mode, "build_workers": build_workers}
+            if is_cscv else {}
+        )
         if threads is not None and is_cscv:
             kwargs["threads"] = threads
         return _construct_format(
@@ -234,6 +249,7 @@ def build_ct_matrix(
     dtype=np.float64,
     geom: ParallelBeamGeometry | None = None,
     cache: bool = False,
+    build_workers: int | None = None,
 ) -> tuple[COOMatrix, ParallelBeamGeometry]:
     """Build a parallel-beam CT system matrix (thin facade wrapper).
 
@@ -249,9 +265,12 @@ def build_ct_matrix(
         from repro.core.cache import default_cache
 
         store = default_cache()
-        coo = _cached_coo(geom, projector, dtype, store if store.enabled else None)
+        coo = _cached_coo(
+            geom, projector, dtype, store if store.enabled else None,
+            build_workers,
+        )
     else:
-        coo = _project_coo(geom, projector, dtype)
+        coo = _project_coo(geom, projector, dtype, build_workers)
     return coo, geom
 
 

@@ -61,7 +61,10 @@ def run(dataset: str = QUICK_DATASET, dtype=np.float32,
     convert_s = root.seconds
     t = Table(headers=["stage", "time", "unit"], title="Fig 7: CSCV pipeline stages")
     t.add_row("matrix format conversion (once)", f"{convert_s * 1e3:.1f}", "ms")
-    for s in sorted((s for s in spans if s.parent == root.id),
+    pack = next((s for s in spans if s.name == "build.pack"), None)
+    stage_parents = {root.id} | ({pack.id} if pack else set())
+    for s in sorted((s for s in spans
+                     if s.parent in stage_parents and s.name != "build.pack"),
                     key=lambda s: s.start):
         stage = s.name.removeprefix("build.")
         t.add_row(f"  conversion: {stage}", f"{s.seconds * 1e3:.1f}", "ms")

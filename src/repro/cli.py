@@ -5,7 +5,8 @@ Commands
 ``info``         environment, backend, registered formats, datasets
 ``spmv``         benchmark formats on a dataset or generated matrix
 ``bench``        targeted micro-benchmarks (``spmm``: batched vs looped;
-                 ``cache``: cold operator build vs warm mmap load)
+                 ``cache``: cold operator build vs warm mmap load;
+                 ``build``: cold-build wall time vs worker count)
 ``cache``        operator cache management (``ls``/``info``/``clear``/``warm``)
 ``convert``      build a CSCV matrix and save it to .npz
 ``reconstruct``  run an iterative solver on a phantom, report quality
@@ -32,10 +33,15 @@ def _cmd_info(args) -> int:
     from repro.core.cache import default_cache
     from repro.kernels import dispatch
 
+    from repro import config
+
     st = obs.status()
     print(f"repro {__version__}")
     print(f"backend in use : {dispatch.backend_in_use()}")
     print(f"omp max threads: {dispatch.omp_threads()}")
+    print(f"build workers  : {config.runtime.build_workers} "
+          f"(REPRO_BUILD_WORKERS; parallel sweep + CSCV packing, "
+          f"output identical for any value)")
     print(f"tracing        : {'on' if st['tracing'] else 'off'} "
           f"(REPRO_TRACE; exporter: jsonl -> {st['trace_path']})")
     print(f"metrics        : {'on' if st['metrics'] else 'off'} "
@@ -114,7 +120,22 @@ def _cmd_bench(args) -> int:
                   file=sys.stderr)
             return 1
         return 0
-    print(f"unknown bench {args.what!r}; options: spmm, cache", file=sys.stderr)
+    if args.what == "build":
+        from repro.bench.build import render, run_build_bench, save_records
+
+        projectors = tuple(args.projectors.split(","))
+        workers = tuple(int(w) for w in args.workers.split(","))
+        records = run_build_bench(
+            size=args.size, projectors=projectors, worker_counts=workers,
+            dtype=dtype, params=params, repeats=args.repeats,
+        )
+        print(render(records, title=f"cold operator build vs workers, "
+                                    f"{args.size}^2 image ({np.dtype(dtype)})"))
+        path = save_records(records, args.out)
+        print(f"records written to {path}")
+        return 0
+    print(f"unknown bench {args.what!r}; options: spmm, cache, build",
+          file=sys.stderr)
     return 2
 
 
@@ -302,7 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--s-vxg", type=int, default=2)
 
     bn = sub.add_parser("bench", help="targeted micro-benchmarks")
-    bn.add_argument("what", help="which bench to run (spmm, cache)")
+    bn.add_argument("what", help="which bench to run (spmm, cache, build)")
     bn.add_argument("--size", type=int, default=256,
                     help="image side length (matrix is ~2*size^2 x size^2)")
     bn.add_argument("--formats", default="", help="comma-separated names")
@@ -313,6 +334,14 @@ def build_parser() -> argparse.ArgumentParser:
     bn.add_argument("--s-vvec", type=int, default=16)
     bn.add_argument("--s-imgb", type=int, default=16)
     bn.add_argument("--s-vxg", type=int, default=2)
+    bn.add_argument("--projectors", default="strip,pixel,siddon",
+                    help="projector sweeps to time (bench build)")
+    bn.add_argument("--workers", default="1,2,4",
+                    help="comma-separated worker counts (bench build)")
+    bn.add_argument("--repeats", type=int, default=1,
+                    help="best-of repeats per cold build (bench build)")
+    bn.add_argument("--out", default="BENCH_build.json",
+                    help="JSON record path (bench build)")
 
     ca = sub.add_parser("cache", help="inspect/manage the operator cache")
     casub = ca.add_subparsers(dest="action", required=True)

@@ -28,6 +28,11 @@ Environment variables
     ``0`` trusts the entry (fastest, still validated structurally).
 ``REPRO_THREADS``
     Default thread count for multi-threaded SpMV (default: CPU count).
+``REPRO_BUILD_WORKERS``
+    Default worker count for the parallel cold build — the projector
+    sweep over view ranges and the block-partitioned CSCV packing
+    (default: CPU count).  Any value produces bitwise-identical
+    operators; this knob trades cores for cold-build wall time only.
 ``REPRO_TRACE``
     ``0`` (default) disables tracing; ``1`` enables span recording with
     the default JSONL dump path; any other value enables tracing and is
@@ -78,6 +83,17 @@ def env_threads() -> int:
         n = int(raw)
         if n < 1:
             raise ValueError("REPRO_THREADS must be >= 1")
+        return n
+    return os.cpu_count() or 1
+
+
+def env_build_workers() -> int:
+    """Default cold-build workers: ``REPRO_BUILD_WORKERS`` or CPU count."""
+    raw = os.environ.get("REPRO_BUILD_WORKERS")
+    if raw:
+        n = int(raw)
+        if n < 1:
+            raise ValueError("REPRO_BUILD_WORKERS must be >= 1")
         return n
     return os.cpu_count() or 1
 
@@ -152,6 +168,9 @@ class RuntimeConfig:
 
     backend: str = field(default_factory=env_backend)
     threads: int = field(default_factory=env_threads)
+    #: Workers for the parallel cold build (projector sweep + CSCV pack);
+    #: results are bitwise-identical for any value (``REPRO_BUILD_WORKERS``).
+    build_workers: int = field(default_factory=env_build_workers)
     #: When True, CSCV builders double-check permutations and paddings.
     paranoid_checks: bool = False
     #: Span tracing requested (seeded from ``REPRO_TRACE``); the live

@@ -18,6 +18,19 @@ conversion before calculation") fully vectorised:
 
 The output :class:`CSCVData` holds both granularities: VxG-level arrays
 (CSCV-Z streams these) and CSCVE-level masked/packed arrays (CSCV-M).
+
+Parallel packing
+----------------
+Steps 3-5 are partitioned by *matrix block*: contiguous block ranges with
+roughly equal nnz are packed independently (on the shared build pool when
+``workers > 1``) and merged by concatenation plus integer pointer
+rebasing.  The global CSCVE sort key is block-major, every equal-key tie
+stays inside one block (hence one partition), and all per-element float
+work is partition-local, so a per-partition stable sort followed by an
+ordered merge reproduces the global stable sort **bitwise** — the output
+arrays are identical for any ``workers`` / partition count.  The
+partitioned path always runs (one partition when ``workers == 1``), which
+makes that identity structural rather than best-effort.
 """
 
 from __future__ import annotations
@@ -31,9 +44,11 @@ from repro.core.blocks import BlockGrid
 from repro.core.params import CSCVParams
 from repro.errors import FormatError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
+from repro.geometry.sweep import resolve_build_workers
 from repro.obs import metrics as obs_metrics
 from repro.obs.profile import profiled
 from repro.obs.trace import span
+from repro.utils.pool import build_pool
 
 
 @dataclass
@@ -126,6 +141,7 @@ def build_cscv(
     dtype=None,
     *,
     reference_mode: str = "ioblr",
+    workers: int | None = None,
 ) -> CSCVData:
     """Convert COO triplets of a CT system matrix into CSCV arrays.
 
@@ -141,6 +157,11 @@ def build_cscv(
       CSCVEs then run along constant-bin lines, which Fig 4 shows fill
       far worse.  Results stay correct either way — only padding and
       performance change.
+
+    ``workers`` overrides ``config.runtime.build_workers`` for the
+    packing stages.  The output is bitwise-identical for every worker
+    count (see the module docstring), so cache keys and file hashes
+    never depend on it.
     """
     dtype = normalize_dtype(dtype if dtype is not None else vals.dtype)
     rows = np.asarray(rows, dtype=np.int64)
@@ -151,13 +172,13 @@ def build_cscv(
     shape = (geom.num_rays, geom.num_pixels)
     nnz = rows.size
     s_vvec, s_vxg = params.s_vvec, params.s_vxg
-    vxg_len = params.vxg_len
 
     if nnz == 0:
         return _empty_data(shape, params, dtype)
 
     if reference_mode not in ("ioblr", "btb"):
         raise FormatError(f"unknown reference_mode {reference_mode!r}")
+    workers = resolve_build_workers(workers)
     with span("build.cscv", nnz=nnz, reference_mode=reference_mode,
               s_vvec=s_vvec, s_imgb=params.s_imgb,
               s_vxg=s_vxg) as build_span, profiled("build.cscv"):
@@ -176,164 +197,80 @@ def build_cscv(
             v = rows // geom.num_bins
             d = bin_ - refb[v, tile]
 
-        # -------------------------------------------------------------- #
-        # sort by (block, col, d, lane); build CSCVE ids
-        with span("build.cscve"):
-            d_shift = d - d.min()
-            d_span = int(d_shift.max()) + 1
-            col_key = block_id * geom.num_pixels + cols   # unique per (block,col)
-            e_key = col_key * d_span + d_shift            # unique per CSCVE
-            full_key = e_key * s_vvec + lane
-            if np.log2(float(grid.num_blocks)) + np.log2(
-                float(geom.num_pixels)
-            ) + np.log2(float(d_span)) + np.log2(float(s_vvec)) > 62:
-                raise FormatError("matrix too large for int64 CSCV sort keys")
-            order = np.argsort(full_key, kind="stable")
-            e_key_s = e_key[order]
-            col_key_s = col_key[order]
-            block_s = block_id[order]
-            d_s = d[order]
-            lane_s = lane[order]
-            vals_s = vals[order]
+        # Global sort-key geometry, shared by every partition so the keys
+        # (and therefore the packed output) cannot depend on the split.
+        d_min = int(d.min())
+        d_span = int(d.max()) - d_min + 1
+        if np.log2(float(grid.num_blocks)) + np.log2(
+            float(geom.num_pixels)
+        ) + np.log2(float(d_span)) + np.log2(float(s_vvec)) > 62:
+            raise FormatError("matrix too large for int64 CSCV sort keys")
 
-            # CSCVE boundaries (sorted, so equal keys are adjacent)
-            is_new_e = np.empty(nnz, dtype=bool)
-            is_new_e[0] = True
-            np.not_equal(e_key_s[1:], e_key_s[:-1], out=is_new_e[1:])
-            e_starts = np.flatnonzero(is_new_e)
-            num_e = e_starts.size
-            e_of_nnz = np.cumsum(is_new_e) - 1
+        ranges = _partition_ranges(block_id, grid.num_blocks, workers)
+        used = min(workers, len(ranges))
+        shared = {
+            "num_pixels": geom.num_pixels,
+            "num_views": geom.num_views,
+            "num_bins": geom.num_bins,
+            "num_img_blocks": grid.num_img_blocks,
+            "d_min": d_min,
+            "d_span": d_span,
+            "s_vvec": s_vvec,
+            "s_vxg": s_vxg,
+            "vxg_len": params.vxg_len,
+            "dtype": dtype,
+            "refb": refb,
+        }
+        parts = []
+        for b0, b1 in ranges:
+            if len(ranges) == 1:
+                sel = slice(None)
+            else:
+                sel = np.flatnonzero((block_id >= b0) & (block_id < b1))
+            parts.append({
+                "shared": shared,
+                "block": block_id[sel],
+                "cols": cols[sel],
+                "d": d[sel],
+                "lane": lane[sel],
+                "vals": vals[sel],
+            })
 
-            e_block = block_s[e_starts]
-            e_colkey = col_key_s[e_starts]
-            e_col_global = (e_colkey % geom.num_pixels).astype(np.int64)
-            e_d = d_s[e_starts]
+        def run_stage(fn):
+            # Barrier round over partitions; stage spans stay on the main
+            # thread so the fig7 per-stage breakdown keeps working.
+            if used <= 1:
+                for p in parts:
+                    fn(p)
+            else:
+                pool = build_pool.get(used)
+                list(pool.map(fn, parts))
 
-            # duplicate (cscve, lane) pairs would mean duplicated COO entries
-            if np.any((np.diff(e_of_nnz) == 0) & (np.diff(lane_s) == 0)):
-                raise FormatError(
-                    "duplicate (row, col) entries; coalesce the COO first"
-                )
+        with span("build.pack", workers=used, partitions=len(parts)):
+            with span("build.cscve"):
+                run_stage(_pack_cscve)
+            with span("build.vxg"):
+                run_stage(_pack_vxg)
+            with span("build.ymap"):
+                run_stage(_pack_ymap)
+            with span("build.merge"):
+                merged = _merge_parts(parts)
 
-        # -------------------------------------------------------------- #
-        # column groups over the CSCVE array; anchored VxG windows
-        with span("build.vxg"):
-            is_new_c = np.empty(num_e, dtype=bool)
-            is_new_c[0] = True
-            np.not_equal(e_colkey[1:], e_colkey[:-1], out=is_new_c[1:])
-            c_starts = np.flatnonzero(is_new_c)
-            c_sizes = np.diff(np.append(c_starts, num_e))
-            # within a column CSCVEs are d-ascending, so first d is min
-            d_anchor = np.repeat(e_d[c_starts], c_sizes)
-            w = (e_d - d_anchor) // s_vxg                 # window per CSCVE
-
-            is_new_g = is_new_c.copy()
-            is_new_g[1:] |= w[1:] != w[:-1]
-            g_starts = np.flatnonzero(is_new_g)
-            num_g = g_starts.size
-            g_of_e = np.cumsum(is_new_g) - 1
-
-            g_block = e_block[g_starts]
-            g_col = e_col_global[g_starts]
-            g_window_d = d_anchor[g_starts] + w[g_starts] * s_vxg  # first offset
-
-            # present blocks, ranges and ytilde geometry
-            is_new_b = np.empty(num_g, dtype=bool)
-            is_new_b[0] = True
-            np.not_equal(g_block[1:], g_block[:-1], out=is_new_b[1:])
-            b_starts_g = np.flatnonzero(is_new_b)
-            present_blocks = g_block[b_starts_g]
-            num_b = present_blocks.size
-            blk_vxg_ptr = np.append(b_starts_g, num_g).astype(np.int64)
-
-            # block ranges over the nonzero array (same ordering: block-major)
-            is_new_b_nnz = np.empty(nnz, dtype=bool)
-            is_new_b_nnz[0] = True
-            np.not_equal(block_s[1:], block_s[:-1], out=is_new_b_nnz[1:])
-            b_starts_nnz = np.flatnonzero(is_new_b_nnz)
-            blk_dmin = np.minimum.reduceat(d_s, b_starts_nnz)
-
-            # VxG overhang can extend past the largest nonzero offset
-            g_window_end = g_window_d + s_vxg - 1
-            blk_dmax = np.maximum.reduceat(g_window_end, b_starts_g)
-            blk_ysize = (blk_dmax - blk_dmin + 1) * s_vvec
-
-            # block ranges over the CSCVE array
-            is_new_b_e = np.empty(num_e, dtype=bool)
-            is_new_b_e[0] = True
-            np.not_equal(e_block[1:], e_block[:-1], out=is_new_b_e[1:])
-            blk_e_ptr = np.append(np.flatnonzero(is_new_b_e), num_e).astype(np.int64)
-
-            # value placement
-            b_of_g = np.cumsum(is_new_b) - 1              # block index per VxG
-            b_of_e = b_of_g[g_of_e]
-            b_of_nnz = b_of_e[e_of_nnz]
-
-            vxg_start = ((g_window_d - blk_dmin[b_of_g]) * s_vvec).astype(INDEX_DTYPE)
-            e_start = ((e_d - blk_dmin[b_of_e]) * s_vvec).astype(INDEX_DTYPE)
-
-            values = np.zeros(num_g * vxg_len, dtype=dtype)
-            e_local = e_d - g_window_d[g_of_e]            # CSCVE index in window
-            slot = g_of_e[e_of_nnz] * vxg_len + e_local[e_of_nnz] * s_vvec + lane_s
-            values[slot] = vals_s
-
-            # CSCV-M: masks + packed values (vals_s is CSCVE/lane ordered)
-            bits = (np.uint32(1) << lane_s.astype(np.uint32)).astype(np.uint32)
-            masks = np.bitwise_or.reduceat(bits, e_starts).astype(np.uint32)
-            voff = np.append(e_starts, nnz).astype(np.int64)
-
-            # VxG-aligned mask grid + per-VxG packed offsets (the M kernel's
-            # view: one (col, start, voff) triple per VxG, s_vxg masks,
-            # empty slots = 0)
-            vxg_masks = np.zeros(num_g * s_vxg, dtype=np.uint32)
-            vxg_masks[g_of_e * s_vxg + e_local] = masks
-            vxg_voff = voff[g_starts]
-
-        # -------------------------------------------------------------- #
-        # ytilde -> global row maps
-        with span("build.ymap"):
-            blk_map_ptr = np.zeros(num_b + 1, dtype=np.int64)
-            np.cumsum(blk_ysize, out=blk_map_ptr[1:])
-            total_slots = int(blk_map_ptr[-1])
-            slot_block = np.repeat(np.arange(num_b), blk_ysize)
-            slot_pos = np.arange(total_slots) - blk_map_ptr[slot_block]
-            slot_lane = slot_pos % s_vvec
-            slot_d = blk_dmin[slot_block] + slot_pos // s_vvec
-
-            group_of_block = present_blocks // grid.num_img_blocks
-            tile_of_block = present_blocks % grid.num_img_blocks
-            slot_view = group_of_block[slot_block] * s_vvec + slot_lane
-            view_ok = slot_view < geom.num_views
-            slot_view_c = np.minimum(slot_view, geom.num_views - 1)
-            slot_bin = refb[slot_view_c, tile_of_block[slot_block]] + slot_d
-            valid = view_ok & (slot_bin >= 0) & (slot_bin < geom.num_bins)
-            ymap = np.where(
-                valid, slot_view * geom.num_bins + slot_bin, -1
-            ).astype(np.int32)
-
-        build_span.set(num_cscve=num_e, num_vxg=num_g, num_blocks=num_b)
+        total_e = int(merged["e_col"].shape[0])
+        total_g = int(merged["vxg_col"].shape[0])
+        total_b = int(merged["blk_ysize"].shape[0])
+        build_span.set(num_cscve=total_e, num_vxg=total_g,
+                       num_blocks=total_b)
+    obs_metrics.gauge(
+        "build.pack.workers", "workers used by the last CSCV packing"
+    ).set(used)
 
     data = CSCVData(
         shape=shape,
         nnz=nnz,
         params=params,
         dtype=dtype,
-        values=values,
-        vxg_col=g_col.astype(INDEX_DTYPE),
-        vxg_start=vxg_start,
-        blk_vxg_ptr=blk_vxg_ptr,
-        vxg_voff=vxg_voff.copy(),
-        vxg_masks=vxg_masks,
-        e_col=e_col_global.astype(INDEX_DTYPE),
-        e_start=e_start,
-        voff=voff,
-        masks=masks,
-        packed=vals_s.copy(),
-        blk_e_ptr=blk_e_ptr,
-        blk_ysize=blk_ysize.astype(np.int64),
-        blk_map_ptr=blk_map_ptr,
-        ymap=ymap,
-        present_blocks=present_blocks.astype(np.int64),
+        **merged,
     )
     _validate(data)
     obs_metrics.counter("build.calls", "CSCV conversions performed").inc()
@@ -345,6 +282,238 @@ def build_cscv(
         "build.vxg_fill", "fraction of CSCV-Z value slots that are real nonzeros"
     ).set(data.nnz / data.stored_slots if data.stored_slots else 1.0)
     return data
+
+
+def _partition_ranges(
+    block_id: np.ndarray, num_blocks: int, parts_wanted: int
+) -> list[tuple[int, int]]:
+    """Contiguous block ranges with roughly equal nnz, all non-empty.
+
+    Boundaries come from nnz quantiles over the per-block counts, so a
+    skewed block population still balances; ranges that would carry zero
+    nonzeros are dropped.
+    """
+    counts = np.bincount(block_id, minlength=num_blocks)
+    cum = np.cumsum(counts)
+    nnz = int(cum[-1])
+    edges = [0]
+    for k in range(1, max(1, parts_wanted)):
+        t = k * nnz // parts_wanted
+        b = int(np.searchsorted(cum, t, side="left")) + 1
+        if edges[-1] < b < num_blocks:
+            edges.append(b)
+    edges.append(num_blocks)
+    out = []
+    for b0, b1 in zip(edges[:-1], edges[1:]):
+        if int(cum[b1 - 1]) - (int(cum[b0 - 1]) if b0 else 0) > 0:
+            out.append((b0, b1))
+    return out or [(0, num_blocks)]
+
+
+# --------------------------------------------------------------------- #
+# per-partition packing stages (run on the build pool; every array they
+# touch is partition-local, shared inputs are read-only)
+
+def _pack_cscve(p: dict) -> None:
+    """Sort one partition by (block, col, d, lane); find CSCVE bounds."""
+    sh = p["shared"]
+    nnz = p["vals"].size
+    col_key = p["block"] * sh["num_pixels"] + p["cols"]  # unique per (block,col)
+    e_key = col_key * sh["d_span"] + (p["d"] - sh["d_min"])
+    full_key = e_key * sh["s_vvec"] + p["lane"]
+    order = np.argsort(full_key, kind="stable")
+    e_key_s = e_key[order]
+    col_key_s = col_key[order]
+    p["block_s"] = p["block"][order]
+    p["d_s"] = p["d"][order]
+    p["lane_s"] = p["lane"][order]
+    p["vals_s"] = p["vals"][order]
+
+    # CSCVE boundaries (sorted, so equal keys are adjacent)
+    is_new_e = np.empty(nnz, dtype=bool)
+    is_new_e[0] = True
+    np.not_equal(e_key_s[1:], e_key_s[:-1], out=is_new_e[1:])
+    e_starts = np.flatnonzero(is_new_e)
+    p["e_starts"] = e_starts
+    p["num_e"] = e_starts.size
+    p["e_of_nnz"] = np.cumsum(is_new_e) - 1
+
+    p["e_block"] = p["block_s"][e_starts]
+    p["e_colkey"] = col_key_s[e_starts]
+    p["e_col_global"] = (p["e_colkey"] % sh["num_pixels"]).astype(np.int64)
+    p["e_d"] = p["d_s"][e_starts]
+
+    # duplicate (cscve, lane) pairs would mean duplicated COO entries;
+    # duplicates share a block, so the per-partition check is exhaustive
+    # (same CSCVE <=> not a new one; cheaper than diffing e_of_nnz)
+    lane_s = p["lane_s"]
+    if np.any(~is_new_e[1:] & (lane_s[1:] == lane_s[:-1])):
+        raise FormatError(
+            "duplicate (row, col) entries; coalesce the COO first"
+        )
+
+
+def _pack_vxg(p: dict) -> None:
+    """Column groups over the partition's CSCVEs; anchored VxG windows."""
+    sh = p["shared"]
+    s_vvec, s_vxg, vxg_len = sh["s_vvec"], sh["s_vxg"], sh["vxg_len"]
+    num_e = p["num_e"]
+    nnz = p["vals_s"].size
+    e_colkey, e_block, e_d = p["e_colkey"], p["e_block"], p["e_d"]
+
+    is_new_c = np.empty(num_e, dtype=bool)
+    is_new_c[0] = True
+    np.not_equal(e_colkey[1:], e_colkey[:-1], out=is_new_c[1:])
+    c_starts = np.flatnonzero(is_new_c)
+    c_sizes = np.diff(np.append(c_starts, num_e))
+    # within a column CSCVEs are d-ascending, so first d is min
+    d_anchor = np.repeat(e_d[c_starts], c_sizes)
+    w = (e_d - d_anchor) // s_vxg                 # window per CSCVE
+
+    is_new_g = is_new_c.copy()
+    is_new_g[1:] |= w[1:] != w[:-1]
+    g_starts = np.flatnonzero(is_new_g)
+    num_g = g_starts.size
+    g_of_e = np.cumsum(is_new_g) - 1
+
+    g_block = e_block[g_starts]
+    g_col = p["e_col_global"][g_starts]
+    g_window_d = d_anchor[g_starts] + w[g_starts] * s_vxg  # first offset
+
+    # present blocks, ranges and ytilde geometry
+    is_new_b = np.empty(num_g, dtype=bool)
+    is_new_b[0] = True
+    np.not_equal(g_block[1:], g_block[:-1], out=is_new_b[1:])
+    b_starts_g = np.flatnonzero(is_new_b)
+    p["present_blocks"] = g_block[b_starts_g]
+    num_b = p["present_blocks"].size
+    p["blk_vxg_ptr"] = np.append(b_starts_g, num_g).astype(np.int64)
+
+    # block ranges over the nonzero array (same ordering: block-major)
+    block_s = p["block_s"]
+    is_new_b_nnz = np.empty(nnz, dtype=bool)
+    is_new_b_nnz[0] = True
+    np.not_equal(block_s[1:], block_s[:-1], out=is_new_b_nnz[1:])
+    b_starts_nnz = np.flatnonzero(is_new_b_nnz)
+    blk_dmin = np.minimum.reduceat(p["d_s"], b_starts_nnz)
+    p["blk_dmin"] = blk_dmin
+
+    # VxG overhang can extend past the largest nonzero offset
+    g_window_end = g_window_d + s_vxg - 1
+    blk_dmax = np.maximum.reduceat(g_window_end, b_starts_g)
+    p["blk_ysize"] = ((blk_dmax - blk_dmin + 1) * s_vvec).astype(np.int64)
+
+    # block ranges over the CSCVE array
+    is_new_b_e = np.empty(num_e, dtype=bool)
+    is_new_b_e[0] = True
+    np.not_equal(e_block[1:], e_block[:-1], out=is_new_b_e[1:])
+    p["blk_e_ptr"] = np.append(np.flatnonzero(is_new_b_e), num_e).astype(np.int64)
+
+    # value placement
+    b_of_g = np.cumsum(is_new_b) - 1              # block index per VxG
+    b_of_e = b_of_g[g_of_e]
+
+    p["vxg_start"] = ((g_window_d - blk_dmin[b_of_g]) * s_vvec).astype(INDEX_DTYPE)
+    p["e_start"] = ((e_d - blk_dmin[b_of_e]) * s_vvec).astype(INDEX_DTYPE)
+
+    values = np.zeros(num_g * vxg_len, dtype=sh["dtype"])
+    e_local = e_d - g_window_d[g_of_e]            # CSCVE index in window
+    e_of_nnz, e_starts = p["e_of_nnz"], p["e_starts"]
+    slot = g_of_e[e_of_nnz] * vxg_len + e_local[e_of_nnz] * s_vvec + p["lane_s"]
+    values[slot] = p["vals_s"]
+    p["values"] = values
+
+    # CSCV-M: masks + packed values (vals_s is CSCVE/lane ordered)
+    bits = (np.uint32(1) << p["lane_s"].astype(np.uint32)).astype(np.uint32)
+    p["masks"] = np.bitwise_or.reduceat(bits, e_starts).astype(np.uint32)
+    voff = np.append(e_starts, nnz).astype(np.int64)
+    p["voff"] = voff
+
+    # VxG-aligned mask grid + per-VxG packed offsets (the M kernel's
+    # view: one (col, start, voff) triple per VxG, s_vxg masks,
+    # empty slots = 0)
+    vxg_masks = np.zeros(num_g * s_vxg, dtype=np.uint32)
+    vxg_masks[g_of_e * s_vxg + e_local] = p["masks"]
+    p["vxg_masks"] = vxg_masks
+    p["vxg_voff"] = voff[g_starts]
+    p["g_col"] = g_col
+    p["num_g"] = num_g
+    p["num_b"] = num_b
+
+
+def _pack_ymap(p: dict) -> None:
+    """ytilde -> global row map for the partition's blocks.
+
+    Slot positions are relative to the *block*, so the local map equals
+    the corresponding segment of the global one.
+    """
+    sh = p["shared"]
+    s_vvec = sh["s_vvec"]
+    num_b = p["num_b"]
+    blk_ysize, blk_dmin = p["blk_ysize"], p["blk_dmin"]
+    present_blocks = p["present_blocks"]
+    refb = sh["refb"]
+
+    blk_map_ptr = np.zeros(num_b + 1, dtype=np.int64)
+    np.cumsum(blk_ysize, out=blk_map_ptr[1:])
+    total_slots = int(blk_map_ptr[-1])
+    slot_block = np.repeat(np.arange(num_b), blk_ysize)
+    slot_pos = np.arange(total_slots) - blk_map_ptr[slot_block]
+    slot_lane = slot_pos % s_vvec
+    slot_d = blk_dmin[slot_block] + slot_pos // s_vvec
+
+    group_of_block = present_blocks // sh["num_img_blocks"]
+    tile_of_block = present_blocks % sh["num_img_blocks"]
+    slot_view = group_of_block[slot_block] * s_vvec + slot_lane
+    view_ok = slot_view < sh["num_views"]
+    slot_view_c = np.minimum(slot_view, sh["num_views"] - 1)
+    slot_bin = refb[slot_view_c, tile_of_block[slot_block]] + slot_d
+    valid = view_ok & (slot_bin >= 0) & (slot_bin < sh["num_bins"])
+    p["ymap"] = np.where(
+        valid, slot_view * sh["num_bins"] + slot_bin, -1
+    ).astype(np.int32)
+
+
+def _merge_parts(parts: list[dict]) -> dict:
+    """Ordered merge: concatenate arrays, rebase the integer pointers.
+
+    Partitions hold disjoint, ascending block ranges, so concatenation in
+    partition order reproduces the global block-major layout exactly;
+    only the ``*_ptr`` / ``*_voff`` prefix arrays need offsetting.
+    """
+    cat = {k: [] for k in (
+        "values", "vxg_col", "vxg_start", "blk_vxg_ptr", "vxg_voff",
+        "vxg_masks", "e_col", "e_start", "voff", "masks", "packed",
+        "blk_e_ptr", "blk_ysize", "ymap", "present_blocks",
+    )}
+    g_off = e_off = nnz_off = 0
+    for p in parts:
+        cat["values"].append(p["values"])
+        cat["vxg_col"].append(p["g_col"].astype(INDEX_DTYPE))
+        cat["vxg_start"].append(p["vxg_start"])
+        cat["blk_vxg_ptr"].append(p["blk_vxg_ptr"][:-1] + g_off)
+        cat["vxg_voff"].append(p["vxg_voff"] + nnz_off)
+        cat["vxg_masks"].append(p["vxg_masks"])
+        cat["e_col"].append(p["e_col_global"].astype(INDEX_DTYPE))
+        cat["e_start"].append(p["e_start"])
+        cat["voff"].append(p["voff"][:-1] + nnz_off)
+        cat["masks"].append(p["masks"])
+        cat["packed"].append(p["vals_s"])
+        cat["blk_e_ptr"].append(p["blk_e_ptr"][:-1] + e_off)
+        cat["blk_ysize"].append(p["blk_ysize"])
+        cat["ymap"].append(p["ymap"])
+        cat["present_blocks"].append(p["present_blocks"].astype(np.int64))
+        g_off += p["num_g"]
+        e_off += p["num_e"]
+        nnz_off += p["vals_s"].size
+    out = {k: np.concatenate(v) for k, v in cat.items()}
+    out["blk_vxg_ptr"] = np.append(out["blk_vxg_ptr"], g_off)
+    out["voff"] = np.append(out["voff"], nnz_off)
+    out["blk_e_ptr"] = np.append(out["blk_e_ptr"], e_off)
+    blk_map_ptr = np.zeros(out["blk_ysize"].size + 1, dtype=np.int64)
+    np.cumsum(out["blk_ysize"], out=blk_map_ptr[1:])
+    out["blk_map_ptr"] = blk_map_ptr
+    return out
 
 
 def _empty_data(shape, params, dtype) -> CSCVData:

@@ -43,11 +43,13 @@ class CSCVMMatrix(SpMVFormat):
         dtype=None,
         threads: int | None = None,
         reference_mode: str = "ioblr",
+        build_workers: int | None = None,
     ) -> "CSCVMMatrix":
         """Build from a :class:`~repro.sparse.COOMatrix` and its geometry."""
         # identical construction; Z and M share CSCVData
         z = CSCVZMatrix.from_ct(
-            coo, geom, params, dtype=dtype, reference_mode=reference_mode
+            coo, geom, params, dtype=dtype, reference_mode=reference_mode,
+            build_workers=build_workers,
         )
         return cls(z.data, threads)
 

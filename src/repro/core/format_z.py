@@ -45,11 +45,14 @@ class CSCVZMatrix(SpMVFormat):
         dtype=None,
         threads: int | None = None,
         reference_mode: str = "ioblr",
+        build_workers: int | None = None,
     ) -> "CSCVZMatrix":
         """Build from a :class:`~repro.sparse.COOMatrix` and its geometry.
 
         ``reference_mode="btb"`` selects the view-major ablation layout
-        (see :func:`repro.core.builder.build_cscv`).
+        (see :func:`repro.core.builder.build_cscv`);  ``build_workers``
+        overrides ``REPRO_BUILD_WORKERS`` for the packing stages (the
+        result is bitwise-identical for any value).
         """
         params = params or CSCVParams()
         if coo.shape != (geom.num_rays, geom.num_pixels):
@@ -59,7 +62,7 @@ class CSCVZMatrix(SpMVFormat):
             )
         data = build_cscv(
             coo.rows, coo.cols, coo.vals, geom, params, dtype,
-            reference_mode=reference_mode,
+            reference_mode=reference_mode, workers=build_workers,
         )
         return cls(data, threads)
 

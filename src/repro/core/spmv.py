@@ -20,8 +20,6 @@ workload (many slices, one system matrix) wins over looped SpMV.
 
 from __future__ import annotations
 
-import atexit
-import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -31,43 +29,31 @@ from repro.core.builder import CSCVData
 from repro.kernels import dispatch
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
-
-
-# Shared worker pool for the NumPy-threaded path.  Solver loops call
-# SpMV thousands of times; spawning a fresh ThreadPoolExecutor per call
-# costs more than the compute on small blocks, so one lazily-created
-# module-level pool (sized from config.runtime.threads, grown on demand)
-# serves every call and is torn down atexit.
-_pool_lock = threading.Lock()
-_pool: ThreadPoolExecutor | None = None
-_pool_size = 0
+from repro.utils.pool import spmv_pool
 
 
 def _shared_pool(workers: int) -> ThreadPoolExecutor:
-    """The process-wide SpMV worker pool, grown to at least *workers*."""
-    global _pool, _pool_size
-    with _pool_lock:
-        if _pool is None or _pool_size < workers:
-            if _pool is not None:
-                _pool.shutdown(wait=True)
-            _pool = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-spmv"
-            )
-            _pool_size = workers
-        return _pool
+    """The process-wide SpMV worker pool, grown to at least *workers*.
+
+    Backed by :data:`repro.utils.pool.spmv_pool`, which also *shrinks*
+    (recreates the pool smaller) when ``config.runtime.threads`` is
+    lowered at runtime and the request fits under the new ceiling.
+    """
+    return spmv_pool.get(workers)
 
 
 def _shutdown_pool() -> None:
     """Tear down the shared pool (atexit hook and test hook)."""
-    global _pool, _pool_size
-    with _pool_lock:
-        if _pool is not None:
-            _pool.shutdown(wait=False)
-            _pool = None
-            _pool_size = 0
+    spmv_pool.shutdown()
 
 
-atexit.register(_shutdown_pool)
+def __getattr__(name: str):
+    # Back-compat introspection of the pool internals (test hooks).
+    if name == "_pool":
+        return spmv_pool._pool
+    if name == "_pool_size":
+        return spmv_pool.size
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _count_call(variant: str, backend: str) -> None:

@@ -10,6 +10,8 @@ view), so the CSCV builder consumes the output unchanged.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.errors import GeometryError
@@ -58,19 +60,36 @@ def fan_strip_view(
 
 
 def fan_strip_matrix(
-    geom: FanBeamGeometry, dtype=np.float64
+    geom: FanBeamGeometry, dtype=np.float64, *, workers: int | None = None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Full fan-beam system matrix as COO triplets."""
-    rows_parts, cols_parts, vals_parts = [], [], []
-    for v in range(geom.num_views):
-        r, c, w = fan_strip_view(geom, v)
-        rows_parts.append(r)
-        cols_parts.append(c)
-        vals_parts.append(w)
-    return (
-        np.concatenate(rows_parts),
-        np.concatenate(cols_parts),
-        np.concatenate(vals_parts).astype(dtype, copy=False),
+    """Full fan-beam system matrix as COO triplets.
+
+    Served by the compiled ``fan_strip_views`` kernel across ``workers``
+    threads when available (:mod:`repro.geometry.sweep`), else by the
+    per-view NumPy path.
+    """
+    from repro.geometry.sweep import sweep_views
+
+    # widest footprint: the pixel closest to the source (distance >=
+    # source_radius - image circumradius, positive post-validation)
+    halfdiag = geom.pixel_size * math.sqrt(2.0) / 2.0
+    d_min = geom.source_radius - geom.image_size * geom.pixel_size * math.sqrt(2.0) / 2.0
+    span_max = int(
+        math.ceil(2.0 * math.atan2(halfdiag, d_min) / geom.bin_pitch_rad)
+    ) + 2
+    return sweep_views(
+        geom,
+        kernel="fan_strip_views",
+        scalar_args=(
+            geom.image_size, geom.num_bins, geom.delta_angle_deg,
+            geom.start_angle_deg, geom.pixel_size, geom.source_radius,
+            geom.fan_angle_deg,
+        ),
+        capacity_per_view=geom.num_pixels * span_max,
+        view_fn=lambda v: fan_strip_view(geom, v),
+        dtype=dtype,
+        workers=workers,
+        projector="fan",
     )
 
 

@@ -56,9 +56,14 @@ def pixel_driven_view(
 
 
 def pixel_driven_matrix(
-    geom: ParallelBeamGeometry, dtype=np.float64
+    geom: ParallelBeamGeometry, dtype=np.float64, *, workers: int | None = None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Full system matrix as COO triplets ``(rows, cols, vals)``.
+
+    The sweep runs on the compiled ``pixel_footprint_views`` kernel
+    across ``workers`` threads when available (see
+    :mod:`repro.geometry.sweep`), falling back to the per-view NumPy
+    path; both emit the same matrix.
 
     Returns
     -------
@@ -67,18 +72,21 @@ def pixel_driven_matrix(
     vals : array of *dtype*
         Interpolation-weighted path lengths.
     """
-    rows_parts = []
-    cols_parts = []
-    vals_parts = []
-    for v in range(geom.num_views):
-        r, c, w = pixel_driven_view(geom, v)
-        rows_parts.append(r)
-        cols_parts.append(c)
-        vals_parts.append(w)
-    rows = np.concatenate(rows_parts)
-    cols = np.concatenate(cols_parts)
-    vals = np.concatenate(vals_parts).astype(dtype, copy=False)
-    return rows, cols, vals
+    from repro.geometry.sweep import sweep_views
+
+    return sweep_views(
+        geom,
+        kernel="pixel_footprint_views",
+        scalar_args=(
+            geom.image_size, geom.num_bins, geom.delta_angle_deg,
+            geom.start_angle_deg, geom.pixel_size, geom.bin_spacing,
+        ),
+        capacity_per_view=2 * geom.num_pixels,
+        view_fn=lambda v: pixel_driven_view(geom, v),
+        dtype=dtype,
+        workers=workers,
+        projector="pixel",
+    )
 
 
 def pixel_bin_support(geom: ParallelBeamGeometry, view: int) -> tuple[np.ndarray, np.ndarray]:

@@ -19,8 +19,12 @@ import math
 
 import numpy as np
 
-from repro.errors import GeometryError
+from repro.errors import GeometryError, ValidationError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
+
+#: Above this pixel count the per-ray NumPy tracer is impractically slow;
+#: the compiled ``siddon_trace_views`` kernel has no such limit.
+_NUMPY_PIXEL_CAP = 1 << 20
 
 
 def _trace_ray(
@@ -91,37 +95,66 @@ def _trace_ray(
     return pix, lengths
 
 
-def siddon_matrix(
-    geom: ParallelBeamGeometry, dtype=np.float64
+def siddon_view(
+    geom: ParallelBeamGeometry, view: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Full Siddon system matrix as COO triplets ``(rows, cols, vals)``.
-
-    Rays pass through bin centres.  Complexity is O(num_rays * n); intended
-    for validation-scale geometries.
-    """
-    if geom.num_pixels > 1 << 20:
-        raise GeometryError(
-            "siddon_matrix is a validation projector; use strip/pixel "
-            "projectors for images larger than 1024x1024"
-        )
-    angles = geom.view_angles()
+    """COO triplets contributed by one view (per-ray NumPy tracer)."""
+    if not (0 <= view < geom.num_views):
+        raise GeometryError(f"view {view} out of range [0, {geom.num_views})")
+    theta = float(geom.view_angles()[view])
     rows_parts, cols_parts, vals_parts = [], [], []
-    for v in range(geom.num_views):
-        theta = float(angles[v])
-        for b in range(geom.num_bins):
-            s = (b + 0.5 - geom.num_bins / 2.0) * geom.bin_spacing
-            pix, lengths = _trace_ray(geom, theta, s)
-            if pix.size:
-                rows_parts.append(
-                    np.full(pix.size, geom.row_index(v, b), dtype=np.int64)
-                )
-                cols_parts.append(pix)
-                vals_parts.append(lengths)
+    for b in range(geom.num_bins):
+        s = (b + 0.5 - geom.num_bins / 2.0) * geom.bin_spacing
+        pix, lengths = _trace_ray(geom, theta, s)
+        if pix.size:
+            rows_parts.append(
+                np.full(pix.size, geom.row_index(view, b), dtype=np.int64)
+            )
+            cols_parts.append(pix)
+            vals_parts.append(lengths)
     if not rows_parts:
         z = np.zeros(0, dtype=np.int64)
-        return z, z.copy(), np.zeros(0, dtype=dtype)
+        return z, z.copy(), np.zeros(0)
     return (
         np.concatenate(rows_parts),
         np.concatenate(cols_parts),
-        np.concatenate(vals_parts).astype(dtype, copy=False),
+        np.concatenate(vals_parts),
+    )
+
+
+def siddon_matrix(
+    geom: ParallelBeamGeometry, dtype=np.float64, *, workers: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full Siddon system matrix as COO triplets ``(rows, cols, vals)``.
+
+    Rays pass through bin centres.  With the compiled backend the sweep
+    runs on ``siddon_trace_views`` across ``workers`` threads at any
+    image size; the per-ray NumPy tracer serves smaller geometries only.
+    """
+    if geom.num_pixels > _NUMPY_PIXEL_CAP:
+        from repro.kernels import dispatch
+
+        if dispatch.get("siddon_trace_views", np.float64) is None:
+            raise ValidationError(
+                "siddon above 1024x1024 needs the compiled ray tracer "
+                "(the per-ray NumPy fallback is a validation-scale path); "
+                "enable it with REPRO_BACKEND=auto or c and a working C "
+                "compiler, or use the strip/pixel projectors"
+            )
+    from repro.geometry.sweep import sweep_views
+
+    # per-ray bound: <= 2n + 2 crossings -> <= 2n + 3 segments
+    cap = geom.num_bins * (2 * geom.image_size + 3)
+    return sweep_views(
+        geom,
+        kernel="siddon_trace_views",
+        scalar_args=(
+            geom.image_size, geom.num_bins, geom.delta_angle_deg,
+            geom.start_angle_deg, geom.pixel_size, geom.bin_spacing,
+        ),
+        capacity_per_view=cap,
+        view_fn=lambda v: siddon_view(geom, v),
+        dtype=dtype,
+        workers=workers,
+        projector="siddon",
     )

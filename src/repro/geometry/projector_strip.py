@@ -105,19 +105,33 @@ def strip_area_view(
 
 
 def strip_area_matrix(
-    geom: ParallelBeamGeometry, dtype=np.float64
+    geom: ParallelBeamGeometry, dtype=np.float64, *, workers: int | None = None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Full strip-area system matrix as COO triplets ``(rows, cols, vals)``."""
-    rows_parts, cols_parts, vals_parts = [], [], []
-    for v in range(geom.num_views):
-        r, c, w = strip_area_view(geom, v)
-        rows_parts.append(r)
-        cols_parts.append(c)
-        vals_parts.append(w)
-    rows = np.concatenate(rows_parts)
-    cols = np.concatenate(cols_parts)
-    vals = np.concatenate(vals_parts).astype(dtype, copy=False)
-    return rows, cols, vals
+    """Full strip-area system matrix as COO triplets ``(rows, cols, vals)``.
+
+    Served by the compiled ``strip_footprint_views`` kernel across
+    ``workers`` threads when available (:mod:`repro.geometry.sweep`),
+    else by the per-view NumPy path.
+    """
+    from repro.geometry.sweep import sweep_views
+
+    # per-view bound: footprint half-width r2 <= ps * sqrt(2) / 2
+    span_max = int(
+        math.ceil(math.sqrt(2.0) * geom.pixel_size / geom.bin_spacing)
+    ) + 1
+    return sweep_views(
+        geom,
+        kernel="strip_footprint_views",
+        scalar_args=(
+            geom.image_size, geom.num_bins, geom.delta_angle_deg,
+            geom.start_angle_deg, geom.pixel_size, geom.bin_spacing,
+        ),
+        capacity_per_view=geom.num_pixels * span_max,
+        view_fn=lambda v: strip_area_view(geom, v),
+        dtype=dtype,
+        workers=workers,
+        projector="strip",
+    )
 
 
 def footprint_halfwidth(geom: ParallelBeamGeometry, view: int) -> float:

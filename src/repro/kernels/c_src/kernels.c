@@ -692,6 +692,292 @@ DEFINE_CSCV_Z_TSPMV(f32, float)
 DEFINE_CSCV_Z_TSPMV(f64, double)
 
 /* ------------------------------------------------------------------ */
+/* Projector sweep kernels: geometry -> COO triplets for a view range.  */
+/*                                                                      */
+/* Each kernel fills caller-allocated (rows, cols, vals) buffers with   */
+/* the nonzeros of views [v0, v1) and returns how many it wrote, or -1  */
+/* when `cap` would overflow (the Python side allocates from a          */
+/* conservative per-view bound, so -1 means a bug, not a retry).        */
+/* Kernels are single-threaded per call and hold no global state: the   */
+/* Python sweep partitions the view axis over a thread pool and ctypes  */
+/* releases the GIL for the duration of each call.  All arithmetic is   */
+/* double precision regardless of the target matrix dtype; the sweep    */
+/* casts values once at the end.                                        */
+/*                                                                      */
+/* Geometry conventions mirror geometry/parallel_beam.py: pixel (i, j)  */
+/* has centre x = (j - (n-1)/2) ps, y = ((n-1)/2 - i) ps; detector bin  */
+/* b covers s in [(b - B/2) ds, (b + 1 - B/2) ds); sinogram row =       */
+/* view * B + bin; pixel column = i * n + j.                            */
+
+/* Trapezoid footprint CDF — the closed form of projector_strip.py,
+ * kept region-by-region identical so C and NumPy values agree to
+ * rounding. */
+static double trapezoid_cdf(double t, double r1, double r2,
+                            double h, double ramp_w) {
+    if (t >= r2) return 1.0;
+    if (t <= -r2) return 0.0;
+    if (t < -r1) return 0.5 * h / ramp_w * (t + r2) * (t + r2);
+    if (t <= r1) return 0.5 * h * (r2 - r1) + h * (t + r1);
+    return 1.0 - 0.5 * h / ramp_w * (r2 - t) * (r2 - t);
+}
+
+EXPORT int64_t pixel_footprint_views_f64(
+        int64_t n, int64_t num_bins,
+        double delta_angle_deg, double start_angle_deg,
+        double pixel_size, double bin_spacing,
+        int64_t v0, int64_t v1, int64_t cap,
+        int64_t *rows, int64_t *cols, double *vals) {
+    const double deg2rad = 0.017453292519943295;
+    const double half = (n - 1) / 2.0;
+    int64_t w = 0;
+    for (int64_t v = v0; v < v1; ++v) {
+        const double theta = (start_angle_deg + delta_angle_deg * v) * deg2rad;
+        const double ct = cos(theta), st = sin(theta);
+        const int64_t row0 = v * num_bins;
+        for (int64_t i = 0; i < n; ++i) {
+            const double y = (half - i) * pixel_size;
+            for (int64_t j = 0; j < n; ++j) {
+                const double x = (j - half) * pixel_size;
+                const double s = x * ct + y * st;
+                const double f = s / bin_spacing + num_bins / 2.0 - 0.5;
+                const double b0 = floor(f);
+                const double w1 = f - b0;
+                const int64_t b = (int64_t)b0;
+                const int64_t col = i * n + j;
+                /* lower bin, weight 1 - w1 */
+                if (b >= 0 && b < num_bins && 1.0 - w1 > 0.0) {
+                    if (w >= cap) return -1;
+                    rows[w] = row0 + b;
+                    cols[w] = col;
+                    vals[w] = (1.0 - w1) * pixel_size;
+                    ++w;
+                }
+                /* upper bin, weight w1 */
+                if (b + 1 >= 0 && b + 1 < num_bins && w1 > 0.0) {
+                    if (w >= cap) return -1;
+                    rows[w] = row0 + b + 1;
+                    cols[w] = col;
+                    vals[w] = w1 * pixel_size;
+                    ++w;
+                }
+            }
+        }
+    }
+    return w;
+}
+
+EXPORT int64_t strip_footprint_views_f64(
+        int64_t n, int64_t num_bins,
+        double delta_angle_deg, double start_angle_deg,
+        double pixel_size, double bin_spacing,
+        int64_t v0, int64_t v1, int64_t cap,
+        int64_t *rows, int64_t *cols, double *vals) {
+    const double deg2rad = 0.017453292519943295;
+    const double eps = 1e-12;
+    const double half = (n - 1) / 2.0;
+    const double ps = pixel_size, ds = bin_spacing;
+    const double area_per_ds = ps * ps / ds;
+    int64_t w = 0;
+    for (int64_t v = v0; v < v1; ++v) {
+        const double theta = (start_angle_deg + delta_angle_deg * v) * deg2rad;
+        const double ct = cos(theta), st = sin(theta);
+        const double a = fabs(ct) * ps, b = fabs(st) * ps;
+        const double r1 = fabs(a - b) / 2.0, r2 = (a + b) / 2.0;
+        const double h = 1.0 / (r1 + r2);
+        const double ramp_w = fmax(r2 - r1, 1e-300);
+        const int64_t span = (int64_t)ceil(2.0 * r2 / ds) + 1;
+        const int64_t row0 = v * num_bins;
+        for (int64_t i = 0; i < n; ++i) {
+            const double y = (half - i) * ps;
+            for (int64_t j = 0; j < n; ++j) {
+                const double x = (j - half) * ps;
+                const double s = x * ct + y * st;
+                const int64_t first =
+                    (int64_t)floor((s - r2) / ds + num_bins / 2.0);
+                double prev =
+                    trapezoid_cdf((first - num_bins / 2.0) * ds - s,
+                                  r1, r2, h, ramp_w);
+                const int64_t col = i * n + j;
+                for (int64_t k = 0; k < span; ++k) {
+                    const double edge =
+                        (first + k + 1 - num_bins / 2.0) * ds - s;
+                    const double chi = trapezoid_cdf(edge, r1, r2, h, ramp_w);
+                    const double val = (chi - prev) * area_per_ds;
+                    prev = chi;
+                    const int64_t bin = first + k;
+                    if (val > eps && bin >= 0 && bin < num_bins) {
+                        if (w >= cap) return -1;
+                        rows[w] = row0 + bin;
+                        cols[w] = col;
+                        vals[w] = val;
+                        ++w;
+                    }
+                }
+            }
+        }
+    }
+    return w;
+}
+
+EXPORT int64_t siddon_trace_views_f64(
+        int64_t n, int64_t num_bins,
+        double delta_angle_deg, double start_angle_deg,
+        double pixel_size, double bin_spacing,
+        int64_t v0, int64_t v1, int64_t cap,
+        int64_t *rows, int64_t *cols, double *vals) {
+    const double deg2rad = 0.017453292519943295;
+    const double ps = pixel_size;
+    const double half = n * ps / 2.0;
+    int64_t w = 0;
+    for (int64_t v = v0; v < v1; ++v) {
+        const double theta = (start_angle_deg + delta_angle_deg * v) * deg2rad;
+        const double ct = cos(theta), st = sin(theta);
+        const double dx = -st, dy = ct;
+        for (int64_t bin = 0; bin < num_bins; ++bin) {
+            const double s = (bin + 0.5 - num_bins / 2.0) * bin_spacing;
+            const double ox = s * ct, oy = s * st;
+            /* box clip, same order and tolerances as _trace_ray */
+            double t_lo = -1e300, t_hi = 1e300;
+            int miss = 0;
+            const double o2[2] = {ox, oy}, d2[2] = {dx, dy};
+            for (int axis = 0; axis < 2; ++axis) {
+                const double o = o2[axis], dd = d2[axis];
+                if (fabs(dd) < 1e-15) {
+                    if (o < -half || o > half) { miss = 1; break; }
+                } else {
+                    double t0 = (-half - o) / dd, t1 = (half - o) / dd;
+                    if (t0 > t1) { const double tmp = t0; t0 = t1; t1 = tmp; }
+                    if (t0 > t_lo) t_lo = t0;
+                    if (t1 < t_hi) t_hi = t1;
+                }
+            }
+            if (miss || t_hi <= t_lo) continue;
+            /* Merge the ascending x- and y-crossing parameter streams
+             * (tx_k = ((-half + k ps) - ox) / dx and likewise ty) between
+             * t_lo and t_hi; each merged segment lies in one pixel,
+             * classified by its midpoint exactly like the NumPy tracer. */
+            const int have_x = fabs(dx) > 1e-15, have_y = fabs(dy) > 1e-15;
+            int64_t kx = dx > 0 ? 0 : n, ky = dy > 0 ? 0 : n;
+            const int64_t sx = dx > 0 ? 1 : -1, sy = dy > 0 ? 1 : -1;
+            double next_x = 1e300, next_y = 1e300;
+            if (have_x) {
+                while (kx >= 0 && kx <= n) {
+                    const double t = ((-half + kx * ps) - ox) / dx;
+                    if (t > t_lo) { if (t < t_hi) next_x = t; break; }
+                    kx += sx;
+                }
+            }
+            if (have_y) {
+                while (ky >= 0 && ky <= n) {
+                    const double t = ((-half + ky * ps) - oy) / dy;
+                    if (t > t_lo) { if (t < t_hi) next_y = t; break; }
+                    ky += sy;
+                }
+            }
+            const int64_t row = v * num_bins + bin;
+            double t_prev = t_lo;
+            for (;;) {
+                double t_cur = t_hi;
+                if (next_x < t_cur) t_cur = next_x;
+                if (next_y < t_cur) t_cur = next_y;
+                const double seg = t_cur - t_prev;
+                if (seg > 1e-12) {
+                    const double mid = (t_prev + t_cur) / 2.0;
+                    const double mx = ox + mid * dx, my = oy + mid * dy;
+                    const int64_t j = (int64_t)floor((mx + half) / ps);
+                    const int64_t ib = (int64_t)floor((my + half) / ps);
+                    const int64_t i = (n - 1) - ib; /* rows from the top */
+                    if (j >= 0 && j < n && i >= 0 && i < n) {
+                        if (w >= cap) return -1;
+                        rows[w] = row;
+                        cols[w] = i * n + j;
+                        vals[w] = seg;
+                        ++w;
+                    }
+                }
+                if (t_cur >= t_hi) break;
+                t_prev = t_cur;
+                if (next_x == t_cur) {
+                    kx += sx;
+                    next_x = 1e300;
+                    if (have_x && kx >= 0 && kx <= n) {
+                        const double t = ((-half + kx * ps) - ox) / dx;
+                        if (t < t_hi) next_x = t;
+                    }
+                }
+                if (next_y == t_cur) {
+                    ky += sy;
+                    next_y = 1e300;
+                    if (have_y && ky >= 0 && ky <= n) {
+                        const double t = ((-half + ky * ps) - oy) / dy;
+                        if (t < t_hi) next_y = t;
+                    }
+                }
+            }
+        }
+    }
+    return w;
+}
+
+EXPORT int64_t fan_strip_views_f64(
+        int64_t n, int64_t num_bins,
+        double delta_angle_deg, double start_angle_deg, double pixel_size,
+        double source_radius, double fan_angle_deg,
+        int64_t v0, int64_t v1, int64_t cap,
+        int64_t *rows, int64_t *cols, double *vals) {
+    const double deg2rad = 0.017453292519943295;
+    const double pi = 3.141592653589793;
+    const double eps = 1e-12;
+    const double half = (n - 1) / 2.0;
+    const double ps = pixel_size;
+    const double pitch = fan_angle_deg * deg2rad / num_bins;
+    const double halfdiag = ps * 1.4142135623730951 / 2.0;
+    int64_t w = 0;
+    for (int64_t v = v0; v < v1; ++v) {
+        const double beta = (start_angle_deg + delta_angle_deg * v) * deg2rad;
+        const double srcx = source_radius * cos(beta);
+        const double srcy = source_radius * sin(beta);
+        const double central = beta + pi;
+        const int64_t row0 = v * num_bins;
+        for (int64_t i = 0; i < n; ++i) {
+            const double y = (half - i) * ps;
+            for (int64_t j = 0; j < n; ++j) {
+                const double x = (j - half) * ps;
+                const double ddx = x - srcx, ddy = y - srcy;
+                /* signed fan angle, wrapped to (-pi, pi] like numpy mod */
+                double g = atan2(ddy, ddx) - central;
+                g = fmod(g + pi, 2.0 * pi);
+                if (g < 0) g += 2.0 * pi;
+                g -= pi;
+                const double dist = hypot(ddx, ddy);
+                const double wa = atan2(halfdiag, dist);
+                const double f_lo = (g - wa) / pitch + num_bins / 2.0;
+                const double f_hi = (g + wa) / pitch + num_bins / 2.0;
+                const int64_t first = (int64_t)floor(f_lo);
+                const double width = fmax(f_hi - f_lo, eps);
+                const int64_t span = (int64_t)ceil(f_hi - f_lo) + 1;
+                const int64_t col = i * n + j;
+                for (int64_t k = 0; k < span; ++k) {
+                    const int64_t b = first + k;
+                    double overlap =
+                        fmin(f_hi, (double)(b + 1)) - fmax(f_lo, (double)b);
+                    if (overlap < 0.0) overlap = 0.0;
+                    const double val = overlap / width * ps;
+                    if (val > eps && b >= 0 && b < num_bins) {
+                        if (w >= cap) return -1;
+                        rows[w] = row0 + b;
+                        cols[w] = col;
+                        vals[w] = val;
+                        ++w;
+                    }
+                }
+            }
+        }
+    }
+    return w;
+}
+
+/* ------------------------------------------------------------------ */
 /* Utility: threads actually used by OpenMP (for diagnostics).          */
 
 EXPORT int kernels_omp_max_threads(void) {
@@ -702,4 +988,4 @@ EXPORT int kernels_omp_max_threads(void) {
 #endif
 }
 
-EXPORT int kernels_abi_version(void) { return 4; }
+EXPORT int kernels_abi_version(void) { return 5; }

@@ -21,6 +21,7 @@ _i64 = ndpointer(np.int64, flags="C_CONTIGUOUS")
 _u32 = ndpointer(np.uint32, flags="C_CONTIGUOUS")
 _c_i64 = ctypes.c_int64
 _c_int = ctypes.c_int
+_c_f64 = ctypes.c_double
 
 
 def _f(dtype) -> object:
@@ -30,9 +31,58 @@ def _f(dtype) -> object:
 _SUFFIX = {np.dtype(np.float32): "f32", np.dtype(np.float64): "f64"}
 
 
+# Parallel-beam projector sweeps share one shape: geometry scalars, a
+# [v0, v1) view range, and caller-allocated COO triplet buffers.  These
+# kernels compute in float64 only (the sweep casts values afterwards),
+# so only the f64 symbols exist in the library.
+_PROJECTOR_SIG = [
+    _c_i64,  # n (image edge)
+    _c_i64,  # num_bins
+    _c_f64,  # delta_angle_deg
+    _c_f64,  # start_angle_deg
+    _c_f64,  # pixel_size
+    _c_f64,  # bin_spacing
+    _c_i64,  # v0
+    _c_i64,  # v1
+    _c_i64,  # capacity
+    _i64,    # rows (out)
+    _i64,    # cols (out)
+    ndpointer(np.float64, flags="C_CONTIGUOUS"),  # vals (out)
+]
+
+_FAN_SIG = [
+    _c_i64,  # n
+    _c_i64,  # num_bins
+    _c_f64,  # delta_angle_deg
+    _c_f64,  # start_angle_deg
+    _c_f64,  # pixel_size
+    _c_f64,  # source_radius
+    _c_f64,  # fan_angle_deg
+    _c_i64,  # v0
+    _c_i64,  # v1
+    _c_i64,  # capacity
+    _i64,    # rows (out)
+    _i64,    # cols (out)
+    ndpointer(np.float64, flags="C_CONTIGUOUS"),  # vals (out)
+]
+
+#: Kernels with a non-void return (projector sweeps return the triplet
+#: count, or -1 on capacity overflow); everything else returns void.
+_RESTYPES = {
+    "pixel_footprint_views": _c_i64,
+    "strip_footprint_views": _c_i64,
+    "siddon_trace_views": _c_i64,
+    "fan_strip_views": _c_i64,
+}
+
+
 def _signatures(dtype) -> dict[str, list]:
     fp = _f(dtype)
     return {
+        "pixel_footprint_views": _PROJECTOR_SIG,
+        "strip_footprint_views": _PROJECTOR_SIG,
+        "siddon_trace_views": _PROJECTOR_SIG,
+        "fan_strip_views": _FAN_SIG,
         "csr_spmv": [_c_i64, _i32, _i32, fp, fp, fp],
         "csr_spmm": [_c_i64, _c_i64, _i32, _i32, fp, fp, fp],
         "csc_spmv": [_c_i64, _c_i64, _i32, _i32, fp, fp, fp],
@@ -159,7 +209,7 @@ class KernelLibrary:
                 fn = getattr(self._lib, f"{name}_{suffix}")
             except AttributeError as exc:  # pragma: no cover - stale .so
                 raise KernelError(f"symbol {name}_{suffix} missing") from exc
-            fn.restype = None
+            fn.restype = _RESTYPES.get(name)
             fn.argtypes = sigs[name]
             self._fns[key] = fn
         return fn

@@ -70,7 +70,7 @@ def build_library(verbose: bool = False) -> str:
             out = cache / f"libreprokernels-{key}.so"
             if out.exists():
                 return str(out)
-            cmd = [cc, *flags, str(_SRC), "-o", str(out) + ".tmp"]
+            cmd = [cc, *flags, str(_SRC), "-lm", "-o", str(out) + ".tmp"]
             try:
                 proc = subprocess.run(
                     cmd, capture_output=True, text=True, timeout=120

@@ -1,0 +1,105 @@
+"""Process-wide worker pools shared across hot-path call sites.
+
+Solver loops call SpMV thousands of times and the cold-build sweep fans
+out once per view range; spawning a fresh ``ThreadPoolExecutor`` per call
+costs more than the compute on small work items.  :class:`SharedPool`
+keeps one lazily-created executor per subsystem (SpMV, operator build)
+and resizes it against a config-driven ceiling:
+
+* **grow** whenever a caller asks for more workers than the pool has;
+* **shrink** (recreate smaller) when the config ceiling was lowered at
+  runtime and the request fits under the new ceiling — so lowering e.g.
+  ``config.runtime.threads`` actually releases the extra OS threads
+  instead of fanning work over a stale oversized pool;
+* **reuse** for explicit larger-than-ceiling requests that the current
+  pool already covers (a caller passing ``threads=3`` against a pool of
+  4 keeps the pool of 4).
+
+All pools register an ``atexit`` teardown.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+
+
+class SharedPool:
+    """A lazily-created, resizable, process-wide thread pool.
+
+    Parameters
+    ----------
+    prefix : str
+        ``thread_name_prefix`` for the executor's workers.
+    ceiling : callable
+        Returns the config-driven size ceiling (e.g.
+        ``lambda: config.runtime.threads``); re-read on every
+        :meth:`get` so runtime changes take effect immediately.
+    """
+
+    def __init__(self, prefix: str, ceiling: Callable[[], int]):
+        self._prefix = prefix
+        self._ceiling = ceiling
+        self._lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._size = 0
+        atexit.register(self.shutdown)
+
+    @property
+    def size(self) -> int:
+        """Current pool width (0 when not yet created)."""
+        return self._size
+
+    def get(self, workers: int) -> ThreadPoolExecutor:
+        """Executor with at least *workers* threads (bounded reuse)."""
+        limit = int(self._ceiling())
+        target = max(int(workers), limit)
+        with self._lock:
+            grow = self._pool is None or self._size < workers
+            # the ceiling dropped below the pool width and this request
+            # fits under it: recreate so the extra threads actually die
+            shrink = (
+                self._pool is not None
+                and self._size > target
+                and workers <= limit
+            )
+            if grow or shrink:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=True)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=target, thread_name_prefix=self._prefix
+                )
+                self._size = target
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Tear the pool down (atexit hook and test hook)."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+                self._size = 0
+
+
+# The two process-wide pools: SpMV's NumPy-threaded path (ceiling =
+# config.runtime.threads) and the cold-build sweep/pack workers (ceiling
+# = config.runtime.build_workers).  Imported lazily at the call sites so
+# `repro.config` stays import-light.
+
+
+def _threads_ceiling() -> int:
+    from repro import config
+
+    return config.runtime.threads
+
+
+def _build_ceiling() -> int:
+    from repro import config
+
+    return config.runtime.build_workers
+
+
+spmv_pool = SharedPool("repro-spmv", _threads_ceiling)
+build_pool = SharedPool("repro-build", _build_ceiling)

@@ -223,13 +223,19 @@ class TestPipelineSpans:
         build_cscv(coo.rows, coo.cols, coo.vals, geom, CSCVParams(8, 16, 2))
         names = {s.name for s in traced.finished()}
         assert {"build.cscv", "build.trajectory", "build.ioblr",
-                "build.cscve", "build.vxg", "build.ymap"} <= names
+                "build.pack", "build.cscve", "build.vxg", "build.ymap",
+                "build.merge"} <= names
         root = traced.find("build.cscv")[0]
+        pack = traced.find("build.pack")[0]
         assert root.attrs["nnz"] == coo.nnz
-        # stages nest under the root span
+        assert pack.parent == root.id and pack.attrs["workers"] >= 1
+        # trajectory/ioblr nest under the root; packing stages under pack
         for s in traced.finished():
-            if s.name != "build.cscv":
+            if s.name in ("build.trajectory", "build.ioblr"):
                 assert s.parent == root.id
+            elif s.name in ("build.cscve", "build.vxg", "build.ymap",
+                            "build.merge"):
+                assert s.parent == pack.id
 
     def test_spmv_spans_and_counters(self, traced, clean_metrics, small_ct_f32, backend):
         from repro.core.format_z import CSCVZMatrix
