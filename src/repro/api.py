@@ -233,7 +233,23 @@ def operator(
         params=params if is_cscv else None,
         reference_mode=reference_mode if is_cscv else "ioblr",
     )
-    fmt_obj, cached = store.get_or_build(key, cls, build, threads=threads)
+    try:
+        fmt_obj, cached = store.get_or_build(key, cls, build, threads=threads)
+    except OSError as exc:
+        # cache infrastructure broken beyond the cache's own degradation
+        # (root unreadable, lock dir unwritable): build uncached
+        import warnings
+
+        obs_metrics.counter(
+            "api.operator.cache_degraded",
+            "operator() calls that bypassed a broken cache",
+        ).inc()
+        warnings.warn(
+            f"operator cache unavailable ({exc}); building uncached",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return ProjectionOperator(build())
     obs_metrics.counter(
         "api.operator." + ("cached" if cached else "built"),
         "operator() facade results served from cache vs built",

@@ -9,6 +9,8 @@ Commands
                  ``build``: cold-build wall time vs worker count)
 ``cache``        operator cache management (``ls``/``info``/``clear``/``warm``)
 ``convert``      build a CSCV matrix and save it to .npz
+``kernels``      compiled-kernel status, or force a rebuild (clears the
+                 persistent compile-failure marker)
 ``reconstruct``  run an iterative solver on a phantom, report quality
 ``experiment``   regenerate one of the paper's tables/figures
 ``calibrate``    measure this host and validate the performance model
@@ -51,6 +53,12 @@ def _cmd_info(args) -> int:
     print(f"operator cache : {'on' if cs['enabled'] else 'off'} "
           f"({cs['entries']} entries, {cs['bytes'] / 1e6:.1f} MB of "
           f"{cs['max_bytes'] / 1e9:.1f} GB) at {cs['root']}")
+    from repro.resilience import faults
+
+    spec = faults.active_spec()
+    print(f"guards         : {config.runtime.guard} (REPRO_GUARD: off/inputs/full)")
+    print(f"fault plan     : {spec if spec else 'none'} (REPRO_FAULTS; "
+          f"profiles: {', '.join(sorted(faults.PROFILES))})")
     print(f"formats        : {', '.join(available_formats())}")
     print("datasets       :")
     for name, ds in DATASETS.items():
@@ -234,10 +242,17 @@ def _cmd_reconstruct(args) -> int:
     op = operator(geom, fmt="cscv-z", params=CSCVParams(8, 16, 2),
                   dtype=np.float64, cache=not args.no_cache)
     sino = op.forward(truth)
+    wd = bool(args.watchdog)
     solvers = {
-        "sirt": lambda: sirt_reconstruct(op, sino, iterations=args.iterations),
-        "cgls": lambda: cgls_reconstruct(op, sino, iterations=args.iterations),
-        "art": lambda: art_reconstruct(op, sino, iterations=args.iterations),
+        "sirt": lambda: sirt_reconstruct(
+            op, sino, iterations=args.iterations, relax=args.relax, watchdog=wd
+        ),
+        "cgls": lambda: cgls_reconstruct(
+            op, sino, iterations=args.iterations, watchdog=wd
+        ),
+        "art": lambda: art_reconstruct(
+            op, sino, iterations=args.iterations, watchdog=wd
+        ),
         "fbp": lambda: fbp_reconstruct(op, sino, geom),
     }
     if args.solver not in solvers:
@@ -295,6 +310,23 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_kernels(args) -> int:
+    from repro.kernels import cbuild, dispatch
+
+    if args.action == "build":
+        from repro.kernels.cbindings import reset_load_state
+
+        path = cbuild.build_library(verbose=True)  # KernelError on failure
+        cbuild.reset_cache_state()
+        reset_load_state()
+        print(f"kernel library ready: {path}")
+        return 0
+    marker = cbuild.failure_marker_path()
+    print(f"backend in use : {dispatch.backend_in_use()}")
+    print(f"failure marker : {marker if marker.is_file() else 'none'}")
+    return 0
+
+
 def _cmd_metrics(args) -> int:
     from repro import obs
 
@@ -309,6 +341,9 @@ def _cmd_metrics(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    p.add_argument("--debug", action="store_true",
+                   help="show full tracebacks for repro errors instead of "
+                        "one-line messages")
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="environment and registry summary")
@@ -372,8 +407,20 @@ def build_parser() -> argparse.ArgumentParser:
     rc.add_argument("--solver", default="sirt")
     rc.add_argument("--size", type=int, default=64)
     rc.add_argument("--iterations", type=int, default=50)
+    rc.add_argument("--relax", type=float, default=1.0,
+                    help="relaxation factor (SIRT; >2 needs --watchdog to "
+                         "recover)")
+    rc.add_argument("--watchdog", action="store_true",
+                    help="enable the residual watchdog (divergence detection "
+                         "+ restart with backed-off relaxation)")
     rc.add_argument("--no-cache", action="store_true",
                     help="bypass the persistent operator cache")
+
+    kn = sub.add_parser("kernels", help="compiled kernel library status / build")
+    kn.add_argument("action", nargs="?", choices=("status", "build"),
+                    default="status",
+                    help="'build' recompiles and clears any persistent "
+                         "compile-failure marker")
 
     ex = sub.add_parser("experiment", help="regenerate a paper table/figure")
     ex.add_argument("name", help="table1..table4, fig1..fig11")
@@ -398,6 +445,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "cache": _cmd_cache,
     "convert": _cmd_convert,
+    "kernels": _cmd_kernels,
     "reconstruct": _cmd_reconstruct,
     "experiment": _cmd_experiment,
     "calibrate": _cmd_calibrate,
@@ -411,13 +459,24 @@ def main(argv: list[str] | None = None) -> int:
 
     Honours ``REPRO_TRACE``: when set, spans recorded during the command
     are dumped as JSON lines on exit and the path is printed to stderr.
+
+    Library failures (:class:`~repro.errors.ReproError` — bad arguments,
+    corrupt files, diverged solvers, unavailable kernels) exit non-zero
+    with a one-line message; pass ``--debug`` for the full traceback.
     """
     from repro import obs
+    from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
     tracing = obs.init_from_env()
     try:
         return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        if args.debug:
+            raise
+        first_line = (str(exc).splitlines() or [""])[0]
+        print(f"error: {type(exc).__name__}: {first_line}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # stdout went away (e.g. piped into `head`); not an error
         import os

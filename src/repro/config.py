@@ -33,6 +33,16 @@ Environment variables
     sweep over view ranges and the block-partitioned CSCV packing
     (default: CPU count).  Any value produces bitwise-identical
     operators; this knob trades cores for cold-build wall time only.
+``REPRO_GUARD``
+    Numerical guard level: ``off`` (default, also ``0``), ``inputs``
+    (``1`` — screen operator/solver inputs for NaN/Inf) or ``full``
+    (``2`` — also screen operator outputs and solver iterates).  See
+    :mod:`repro.resilience.guards`.
+``REPRO_FAULTS``
+    Deterministic fault-injection plan: empty (default, nothing fires),
+    a named profile (``chaos``, ``kernel-chaos``), or an explicit rule
+    list such as ``cache.load.read:corrupt:every=3,pool.task.*:raise``.
+    See :mod:`repro.resilience.faults`.
 ``REPRO_TRACE``
     ``0`` (default) disables tracing; ``1`` enables span recording with
     the default JSONL dump path; any other value enables tracing and is
@@ -96,6 +106,32 @@ def env_build_workers() -> int:
             raise ValueError("REPRO_BUILD_WORKERS must be >= 1")
         return n
     return os.cpu_count() or 1
+
+
+#: Accepted numerical guard levels, weakest to strongest.
+GUARD_LEVELS = ("off", "inputs", "full")
+
+_GUARD_ALIASES = {
+    "": "off", "0": "off", "false": "off", "no": "off", "off": "off",
+    "1": "inputs", "input": "inputs", "inputs": "inputs",
+    "2": "full", "on": "full", "true": "full", "all": "full", "full": "full",
+}
+
+
+def env_guard() -> str:
+    """``REPRO_GUARD``: numerical guard level (``off``/``inputs``/``full``)."""
+    raw = os.environ.get("REPRO_GUARD", "off").strip().lower()
+    try:
+        return _GUARD_ALIASES[raw]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_GUARD must be one of {GUARD_LEVELS} (or 0/1/2), got {raw!r}"
+        ) from None
+
+
+def env_faults() -> str:
+    """``REPRO_FAULTS``: fault-injection plan (profile name or rule list)."""
+    return os.environ.get("REPRO_FAULTS", "").strip()
 
 
 def env_trace() -> tuple[bool, str | None]:
@@ -185,6 +221,11 @@ class RuntimeConfig:
     cache_max_bytes: int = field(default_factory=env_cache_max_bytes)
     #: Verify stored checksums on cache load (``REPRO_CACHE_VERIFY``).
     cache_verify: bool = field(default_factory=env_cache_verify)
+    #: Numerical guard level (``REPRO_GUARD``): ``off``/``inputs``/``full``.
+    guard: str = field(default_factory=env_guard)
+    #: Fault-injection plan string (``REPRO_FAULTS``); parsed lazily by
+    #: :mod:`repro.resilience.faults`, empty = nothing fires.
+    faults: str = field(default_factory=env_faults)
 
 
 #: Singleton runtime configuration.

@@ -48,7 +48,7 @@ from repro.geometry.sweep import resolve_build_workers
 from repro.obs import metrics as obs_metrics
 from repro.obs.profile import profiled
 from repro.obs.trace import span
-from repro.utils.pool import build_pool
+from repro.utils.pool import build_pool, run_resilient
 
 
 @dataclass
@@ -243,8 +243,7 @@ def build_cscv(
                 for p in parts:
                     fn(p)
             else:
-                pool = build_pool.get(used)
-                list(pool.map(fn, parts))
+                run_resilient(build_pool, fn, parts, used, label="pack")
 
         with span("build.pack", workers=used, partitions=len(parts)):
             with span("build.cscve"):

@@ -46,6 +46,8 @@ from repro import config
 from repro.errors import FormatError
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+from repro.resilience import faults
+from repro.resilience.retry import backoff_delays
 
 #: bump when the entry layout (entry.json schema, file naming) changes
 CACHE_SCHEMA = 1
@@ -238,6 +240,7 @@ class OperatorCache:
                 files = {}
                 for name, arr in arrays.items():
                     f = tmp / f"{name}.npy"
+                    faults.fire("cache.store.write", key=key, file=name)
                     np.save(f, np.ascontiguousarray(arr))
                     files[name] = {
                         "sha256": _sha256_file(f),
@@ -286,6 +289,11 @@ class OperatorCache:
             return None
         with span("cache.load", key=key):
             try:
+                directive = faults.fire("cache.load.read", key=key)
+                if directive == "corrupt":
+                    raise FormatError(f"fault injected: corrupt entry {key}")
+                if directive == "short-read":
+                    raise EOFError(f"fault injected: truncated entry {key}")
                 entry = json.loads((path / _ENTRY_JSON).read_text())
                 if entry.get("schema") != CACHE_SCHEMA:
                     raise FormatError(
@@ -299,8 +307,9 @@ class OperatorCache:
                         raise FormatError(f"checksum mismatch in {f.name}")
                     arrays[name] = np.load(f, mmap_mode="r")
                 fmt = cls.from_cache_state(entry["meta"], arrays, threads=threads)
-            except (OSError, ValueError, KeyError, FormatError):
-                # corrupt or unreadable: evict and let the caller rebuild
+            except (OSError, ValueError, KeyError, EOFError, FormatError):
+                # corrupt, truncated or unreadable: evict, caller rebuilds
+                # (EOFError: np.load raises it on a short .npy body)
                 self._bump("corrupt")
                 self.evict(key)
                 if count_miss:
@@ -330,7 +339,12 @@ class OperatorCache:
                 return fmt, True
             with span("cache.build", key=key):
                 built = builder()
-            self.store(key, built)
+            try:
+                self.store(key, built)
+            except OSError:
+                # disk full / unwritable cache: serve the fresh build and
+                # keep going — persistence is an optimisation, not a need
+                self._bump("store_errors")
         return built, False
 
     # ------------------------------------------------------------------ #
@@ -495,35 +509,46 @@ class OperatorCache:
     def _lock(self, key: str, timeout: float | None = None):
         """Exclusive per-key build lock (lockfile + polling + staleness).
 
-        If the lock cannot be acquired within *timeout* seconds the
-        caller proceeds unlocked — a redundant build is wasteful but
-        correct, because stores are atomic renames.
+        If the lock cannot be acquired within *timeout* seconds — or a
+        ``cache.lock:timeout`` fault fires — the caller proceeds
+        unlocked: a redundant build is wasteful but correct, because
+        stores are atomic renames.  Waiters poll with capped exponential
+        backoff plus pid-seeded jitter so a stampede of processes
+        contending for one key decorrelates instead of thundering in
+        lockstep.
         """
         timeout = LOCK_TIMEOUT if timeout is None else timeout
         path = self._lock_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         deadline = time.monotonic() + timeout
+        delays = backoff_delays(base=0.01, cap=min(0.5, max(timeout / 4, 0.01)))
         acquired = False
-        while True:
-            try:
-                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-                os.write(fd, str(os.getpid()).encode())
-                os.close(fd)
-                acquired = True
-                break
-            except FileExistsError:
-                with contextlib.suppress(OSError):
-                    if time.time() - path.stat().st_mtime > timeout:
-                        # holder died: break the stale lock and retry
-                        path.unlink()
-                        continue
-                if time.monotonic() >= deadline:
-                    obs_metrics.counter(
-                        "cache.lock_timeouts",
-                        "cache build locks that timed out (redundant build)",
-                    ).inc()
+        if faults.fire("cache.lock", key=key) == "timeout":
+            obs_metrics.counter(
+                "cache.lock_timeouts",
+                "cache build locks that timed out (redundant build)",
+            ).inc()
+        else:
+            while True:
+                try:
+                    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                    os.write(fd, str(os.getpid()).encode())
+                    os.close(fd)
+                    acquired = True
                     break
-                time.sleep(0.05)
+                except FileExistsError:
+                    with contextlib.suppress(OSError):
+                        if time.time() - path.stat().st_mtime > timeout:
+                            # holder died: break the stale lock and retry
+                            path.unlink()
+                            continue
+                    if time.monotonic() >= deadline:
+                        obs_metrics.counter(
+                            "cache.lock_timeouts",
+                            "cache build locks that timed out (redundant build)",
+                        ).inc()
+                        break
+                    time.sleep(min(next(delays), max(deadline - time.monotonic(), 0.0)))
         try:
             yield
         finally:

@@ -282,20 +282,30 @@ def load_cscv_dir(path, *, mmap_mode: str | None = "r") -> CSCVData:
     one physical copy through the page cache.  Pass ``mmap_mode=None``
     for private in-memory copies.
 
+    A partially-written entry (an array file missing or truncated) can
+    only come from tooling that bypassed the atomic writer; it is evicted
+    (the directory removed) before :class:`FormatError` is raised, so the
+    broken entry cannot shadow a future rebuild.
+
     Raises
     ------
     FormatError
-        On missing files, version mismatch, or internal inconsistency
-        (same validation as :func:`load_cscv`).
+        On missing files, truncated arrays, version mismatch, or internal
+        inconsistency (same validation as :func:`load_cscv`).
     """
     path = Path(path)
     meta_path = path / META_FILE
     if not meta_path.is_file():
         raise FormatError(f"{path} is not a CSCV directory (no {META_FILE})")
+
+    def _evict(reason: str) -> FormatError:
+        shutil.rmtree(path, ignore_errors=True)
+        return FormatError(f"{reason} (evicted partial entry {path})")
+
     try:
         meta = np.load(meta_path)
-    except (OSError, ValueError) as exc:
-        raise FormatError(f"{meta_path}: unreadable meta header: {exc}") from exc
+    except (OSError, ValueError, EOFError) as exc:
+        raise _evict(f"{meta_path}: unreadable meta header: {exc}") from exc
     if meta.size < 1:
         raise FormatError(f"{path} is not a CSCV directory (empty meta)")
     if int(meta.flat[0]) != FORMAT_VERSION:
@@ -311,8 +321,9 @@ def load_cscv_dir(path, *, mmap_mode: str | None = "r") -> CSCVData:
             continue
         try:
             arrays[name] = np.load(f, mmap_mode=mmap_mode)
-        except (OSError, ValueError) as exc:
-            raise FormatError(f"{f}: unreadable array: {exc}") from exc
+        except (OSError, ValueError, EOFError) as exc:
+            # np.load raises EOFError/ValueError on a truncated .npy
+            raise _evict(f"{f}: unreadable array: {exc}") from exc
     if missing:
-        raise FormatError(f"CSCV dir missing arrays: {missing}")
+        raise _evict(f"CSCV dir missing arrays: {missing}")
     return cscv_data_from_arrays(meta, arrays, source=path)

@@ -29,7 +29,7 @@ from repro.core.builder import CSCVData
 from repro.kernels import dispatch
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
-from repro.utils.pool import spmv_pool
+from repro.utils.pool import run_resilient, spmv_pool
 
 
 def _shared_pool(workers: int) -> ThreadPoolExecutor:
@@ -230,11 +230,11 @@ def _threaded(data, x, y, rows, threads, accumulate):
 
     def work(idx: int):
         b0, b1 = ranges[idx]
+        partials[idx][:] = 0  # idempotent under retry / serial fallback
         with span("spmv.block_range", b0=b0, b1=b1):
             accumulate(data, x, partials[idx], rows, b0, b1)
 
-    pool = _shared_pool(len(ranges))
-    list(pool.map(work, range(len(ranges))))
+    run_resilient(spmv_pool, work, range(len(ranges)), len(ranges), label="spmv")
     for p in partials:  # deterministic reduction order
         y += p
     return y

@@ -32,3 +32,21 @@ class KernelError(ReproError):
 
 class AutotuneError(ReproError):
     """Parameter autotuning could not find a feasible configuration."""
+
+
+class NumericalError(ReproError):
+    """Non-finite data detected by the numerical guards (``REPRO_GUARD``)."""
+
+
+class SolverError(ReproError):
+    """An iterative solver diverged and could not recover.
+
+    Raised by the residual watchdog after its restart/backoff budget is
+    exhausted.  ``history`` holds the per-iteration record that led here:
+    a list of dicts with at least ``iteration`` and ``residual`` keys,
+    plus ``action``/``relax`` entries for every watchdog intervention.
+    """
+
+    def __init__(self, message: str, *, history: list | None = None):
+        super().__init__(message)
+        self.history = history or []

@@ -34,7 +34,7 @@ from repro.errors import KernelError
 from repro.kernels import dispatch
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
-from repro.utils.pool import build_pool
+from repro.utils.pool import build_pool, run_resilient
 
 #: Soft cap on one chunk's triplet scratch buffer (bytes); chunks shrink
 #: until their conservative capacity bound fits.  Only live chunks (at
@@ -115,8 +115,10 @@ def sweep_views(
             if workers <= 1 or len(ranges) == 1:
                 parts = [trace_range(r) for r in ranges]
             else:
-                pool = build_pool.get(min(workers, len(ranges)))
-                parts = list(pool.map(trace_range, ranges))
+                parts = run_resilient(
+                    build_pool, trace_range, ranges,
+                    min(workers, len(ranges)), label="sweep",
+                )
         rows = np.concatenate([p[0] for p in parts])
         cols = np.concatenate([p[1] for p in parts])
         vals = np.concatenate([p[2] for p in parts]).astype(dtype, copy=False)

@@ -9,6 +9,7 @@ classes construct their arrays that way).
 from __future__ import annotations
 
 import ctypes
+import warnings
 
 import numpy as np
 from numpy.ctypeslib import ndpointer
@@ -220,21 +221,52 @@ _load_failed = False
 
 
 def load_library() -> KernelLibrary | None:
-    """Build-and-load the kernel library once per process (or None)."""
+    """Build-and-load the kernel library once per process (or None).
+
+    A library that built but will not load (deleted, truncated, or ABI
+    mismatch — simulated by the ``kernel.load`` fault point) degrades
+    the same way a failed build does: one ``RuntimeWarning``, a
+    ``kernel.load.failures`` count, NumPy fallback for the rest of the
+    process.
+    """
     global _library, _load_failed
     if _load_failed:
         return None
     if _library is None:
+        from repro.resilience import faults
+
         path = library_path()
+        directive = faults.fire("kernel.load") if path is not None else None
+        if directive == "missing":
+            path = None
         if path is None:
             _load_failed = True
+            if directive == "missing":
+                _warn_load_failure("shared library missing")
             return None
         try:
+            if directive == "corrupt":
+                raise OSError(f"fault injected: unloadable library {path}")
             _library = KernelLibrary(path)
-        except (OSError, KernelError):  # pragma: no cover - load failure
+        except (OSError, KernelError, AttributeError) as exc:
             _load_failed = True
+            _warn_load_failure(str(exc))
             return None
     return _library
+
+
+def _warn_load_failure(reason: str) -> None:
+    from repro.obs import metrics as obs_metrics
+
+    obs_metrics.counter(
+        "kernel.load.failures",
+        "kernel library load failures (NumPy fallback engaged)",
+    ).inc()
+    warnings.warn(
+        f"repro kernel library failed to load, using NumPy backend: {reason}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def reset_load_state() -> None:

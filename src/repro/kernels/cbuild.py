@@ -6,8 +6,12 @@ a hash of (source, flags, compiler version) under
 host-ISA flag (``-march=native``, their ``-xHost`` equivalent) so the
 compiler auto-vectorises the scalar loops.
 
-Build failures are remembered for the process and reported once; callers
-then fall back to the NumPy backend.
+Build failures are remembered twice over: in-process (reported once,
+callers fall back to the NumPy backend) and *persistently* via a failure
+marker file keyed on (source, compiler set, platform) — so a box without
+a working toolchain pays for the compile attempt once, not on every
+import.  An explicit :func:`build_library` call (``repro kernels
+build``) always retries for real and clears the marker on success.
 """
 
 from __future__ import annotations
@@ -49,6 +53,20 @@ def _cache_key(cc: str, flags: list[str], source: bytes) -> str:
     return h.hexdigest()[:16]
 
 
+def failure_marker_path() -> Path:
+    """Persistent compile-failure marker for the current toolchain.
+
+    Keyed like the .so cache (source hash, compiler candidates,
+    platform): editing the kernels, pointing ``REPRO_CC`` elsewhere, or
+    installing on a new platform all invalidate the marker naturally.
+    """
+    h = hashlib.sha256()
+    h.update(_SRC.read_bytes() if _SRC.exists() else b"")
+    h.update(",".join(_compilers()).encode())
+    h.update(sys.platform.encode())
+    return Path(config.cache_dir()) / f"build-failed-{h.hexdigest()[:16]}.marker"
+
+
 def build_library(verbose: bool = False) -> str:
     """Compile the kernel library if needed; return the .so path.
 
@@ -59,6 +77,11 @@ def build_library(verbose: bool = False) -> str:
     """
     if not _SRC.exists():  # pragma: no cover - packaging error
         raise KernelError(f"kernel source missing: {_SRC}")
+    from repro.resilience import faults
+
+    if faults.fire("kernel.build") is not None:
+        _record_failure("fault injected: compiler unavailable")
+        raise KernelError("fault injected: compiler unavailable")
     source = _SRC.read_bytes()
     cache = Path(config.cache_dir())
     cache.mkdir(parents=True, exist_ok=True)
@@ -69,6 +92,7 @@ def build_library(verbose: bool = False) -> str:
             key = _cache_key(cc, flags, source)
             out = cache / f"libreprokernels-{key}.so"
             if out.exists():
+                _clear_failure()
                 return str(out)
             cmd = [cc, *flags, str(_SRC), "-lm", "-o", str(out) + ".tmp"]
             try:
@@ -80,13 +104,33 @@ def build_library(verbose: bool = False) -> str:
                 continue
             if proc.returncode == 0:
                 os.replace(out.with_name(out.name + ".tmp"), out)
+                _clear_failure()
                 if verbose:  # pragma: no cover - diagnostics
                     print(f"[repro.kernels] built {out} with {cc} {' '.join(flags)}")
                 return str(out)
             errors.append(f"{cc} {' '.join(flags)}: {proc.stderr.strip()[:500]}")
-    raise KernelError(
+    message = (
         "could not compile kernel library; attempts:\n" + "\n".join(errors)
     )
+    _record_failure(message)
+    raise KernelError(message)
+
+
+def _record_failure(message: str) -> None:
+    """Write the persistent marker so later imports skip the compile."""
+    import contextlib
+
+    with contextlib.suppress(OSError):
+        marker = failure_marker_path()
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.write_text(message)
+
+
+def _clear_failure() -> None:
+    import contextlib
+
+    with contextlib.suppress(OSError):
+        failure_marker_path().unlink()
 
 
 _build_result: str | None = None
@@ -94,11 +138,35 @@ _build_failed = False
 
 
 def library_path() -> str | None:
-    """Cached :func:`build_library`; returns None after a failed build."""
+    """Cached :func:`build_library`; returns None after a failed build.
+
+    A persistent failure marker (written by an earlier failed build, in
+    this process or any previous one) short-circuits the compile attempt
+    entirely: one warning, NumPy fallback, no compiler invocation.  Run
+    ``repro kernels build`` (which calls :func:`build_library` directly)
+    to retry for real after fixing the toolchain.
+    """
     global _build_result, _build_failed
     if _build_failed:
         return None
     if _build_result is None:
+        marker = failure_marker_path()
+        if marker.is_file():
+            from repro.obs import metrics as obs_metrics
+
+            obs_metrics.counter(
+                "kernel.build.marker_skips",
+                "kernel builds skipped due to a persistent failure marker",
+            ).inc()
+            _build_failed = True
+            warnings.warn(
+                "repro C kernels unavailable (previous compile failed; "
+                f"using NumPy backend). Retry with 'repro kernels build' "
+                f"or delete {marker}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
         try:
             _build_result = build_library()
         except KernelError as exc:

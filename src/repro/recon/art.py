@@ -19,6 +19,8 @@ from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.recon.linops import ProjectionOperator
+from repro.resilience.guards import check as guard_check
+from repro.resilience.watchdog import resolve_watchdog
 from repro.sparse.csr import CSRMatrix
 from repro.utils.arrays import check_1d, ensure_dtype
 
@@ -56,6 +58,7 @@ def art_reconstruct(
     x0: np.ndarray | None = None,
     nonneg: bool = True,
     callback=None,
+    watchdog=None,
 ) -> np.ndarray:
     """Blocked ART / SIRT-flavoured row-action reconstruction.
 
@@ -78,6 +81,8 @@ def art_reconstruct(
         cannot be negative).
     callback : callable, optional
         ``callback(k, x, residual_norm)`` per iteration.
+    watchdog : bool or ResidualWatchdog, optional
+        Divergence guard; see :func:`repro.recon.sirt.sirt_reconstruct`.
     """
     if iterations < 1:
         raise ValidationError("iterations must be >= 1")
@@ -85,6 +90,7 @@ def art_reconstruct(
         raise ValidationError("relax must be in (0, 2)")
     m, n = op.shape
     y = ensure_dtype(check_1d(sinogram, m, "sinogram"), op.dtype, "sinogram")
+    guard_check(y, "sinogram", where="art")
     x = (
         np.zeros(n, dtype=op.dtype)
         if x0 is None
@@ -98,17 +104,28 @@ def art_reconstruct(
     inv_row = np.divide(1.0, row_sums, out=np.zeros_like(row_sums), where=row_sums > 1e-12)
     inv_col = np.divide(1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 1e-12)
 
+    wd = resolve_watchdog(watchdog, solver="art", relax=relax)
+    x_init = x.copy() if wd is not None else None
+
     residual_gauge = obs_metrics.gauge("art.residual", "last ART residual norm")
     iter_counter = obs_metrics.counter("art.iterations", "ART sweeps run")
     for k in range(iterations):
         with span("art.iter", k=k) as it_span:
             resid = y - op.forward(x)
+            rnorm = float(np.linalg.norm(resid))
+            if wd is not None and wd.observe(k, rnorm, x) == "restart":
+                x = np.asarray(
+                    wd.best_x if wd.best_x is not None else x_init,
+                    dtype=op.dtype,
+                ).copy()
+                relax = wd.relax
+                it_span.set(residual=rnorm, restart=True)
+                continue
             weighted = (resid.astype(np.float64) * inv_row).astype(op.dtype)
             update = op.adjoint(weighted).astype(np.float64) * inv_col
             x = (x.astype(np.float64) + relax * update).astype(op.dtype)
             if nonneg:
                 np.maximum(x, 0, out=x)
-            rnorm = float(np.linalg.norm(resid))
             it_span.set(residual=rnorm)
         residual_gauge.set(rnorm)
         iter_counter.inc()

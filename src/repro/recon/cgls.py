@@ -20,6 +20,8 @@ from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.recon.linops import ProjectionOperator
+from repro.resilience.guards import check as guard_check
+from repro.resilience.watchdog import resolve_watchdog
 from repro.utils.arrays import as_column_batch
 
 
@@ -32,6 +34,7 @@ def cgls_reconstruct(
     rtol: float = 1e-8,
     damping: float = 0.0,
     callback=None,
+    watchdog=None,
 ) -> np.ndarray:
     """Run CGLS; returns the iterate with all math in float64 accumulators.
 
@@ -46,6 +49,11 @@ def cgls_reconstruct(
         standard stabiliser for noisy/limited-angle data).
     callback : callable, optional
         ``callback(k, x, normal_residual_norm)`` per iteration.
+    watchdog : bool or ResidualWatchdog, optional
+        Divergence guard.  CGLS has no relaxation to back off; a restart
+        instead re-initialises the whole CG recurrence (``r``, ``s``,
+        ``p``, ``gamma``) from the best iterate seen — the standard cure
+        for a recurrence drifting from the true residual.
     """
     if iterations < 1:
         raise ValidationError("iterations must be >= 1")
@@ -53,6 +61,7 @@ def cgls_reconstruct(
         raise ValidationError("damping must be >= 0")
     m, n = op.shape
     y, was_1d = as_column_batch(sinogram, m, "sinogram", op.dtype)
+    guard_check(y, "sinogram", where="cgls")
     k_cols = y.shape[1]
     if x0 is None:
         x = np.zeros((n, k_cols), dtype=np.float64)
@@ -62,12 +71,17 @@ def cgls_reconstruct(
             raise ValidationError("x0 must match the sinogram batch shape")
         x = x0b.copy()
 
-    r = (y - op.forward(x.astype(op.dtype))).astype(np.float64)
-    s = op.adjoint(r.astype(op.dtype)).astype(np.float64) - damping * x
-    p = s.copy()
-    gamma = np.einsum("ij,ij->j", s, s)
+    def init_recurrence(xk):
+        r = (y - op.forward(xk.astype(op.dtype))).astype(np.float64)
+        s = op.adjoint(r.astype(op.dtype)).astype(np.float64) - damping * xk
+        return r, s, s.copy(), np.einsum("ij,ij->j", s, s)
+
+    r, s, p, gamma = init_recurrence(x)
     gamma0 = np.where(gamma > 0, gamma, 1.0)
     active = np.ones(k_cols, dtype=bool)
+
+    wd = resolve_watchdog(watchdog, solver="cgls")
+    x_init = x.copy() if wd is not None else None
 
     residual_gauge = obs_metrics.gauge(
         "cgls.residual", "last CGLS normal-equation residual norm"
@@ -91,6 +105,14 @@ def cgls_reconstruct(
             s = op.adjoint(r.astype(op.dtype)).astype(np.float64) - damping * x
             gamma_new = np.einsum("ij,ij->j", s, s)
             rnorm = float(np.sqrt(gamma_new[active].sum()))
+            if wd is not None and wd.observe(k, rnorm, x) == "restart":
+                x = np.array(
+                    wd.best_x if wd.best_x is not None else x_init, copy=True
+                )
+                r, s, p, gamma = init_recurrence(x)
+                active = np.ones(k_cols, dtype=bool)
+                it_span.set(residual=rnorm, restart=True)
+                continue
             it_span.set(residual=rnorm)
         residual_gauge.set(rnorm)
         iter_counter.inc()

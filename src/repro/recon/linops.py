@@ -16,6 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.resilience import faults
+from repro.resilience.guards import check as guard_check
 from repro.sparse.matrix_base import SpMVFormat
 from repro.utils.arrays import check_1d, ensure_dtype
 
@@ -36,30 +38,47 @@ class ProjectionOperator:
         return self.fmt.dtype
 
     def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """``y = A x`` — batched (SpMM) when *x* is a 2-D stack."""
-        x = np.asarray(x)
+        """``y = A x`` — batched (SpMM) when *x* is a 2-D stack.
+
+        Under ``REPRO_GUARD`` the operand is screened for non-finite
+        values on the way in (and, at level ``full``, the product on the
+        way out); the ``operator.input.forward`` fault point can poison
+        the operand for chaos tests.
+        """
+        x = faults.corrupt_array("operator.input.forward", np.asarray(x))
+        guard_check(x, "x", where="operator.forward")
         if x.ndim == 2:
-            return self.fmt.spmm(x, out)
-        return self.fmt.spmv(x, out)
+            res = self.fmt.spmm(x, out)
+        else:
+            res = self.fmt.spmv(x, out)
+        guard_check(res, "A x", where="operator.forward", kind="output")
+        return res
 
     def adjoint(self, y: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``x = A^T y``; uses the format's native transpose when present.
 
         A 2-D *y* of shape (m, k) back-projects the whole stack at once
         through ``transpose_spmm`` when the format has one, else column
-        by column.
+        by column.  Guarded and fault-injectable like :meth:`forward`
+        (``operator.input.adjoint``).
         """
-        y = np.asarray(y)
+        y = faults.corrupt_array("operator.input.adjoint", np.asarray(y))
+        guard_check(y, "y", where="operator.adjoint")
         if y.ndim == 2:
-            return self._adjoint_batch(y, out)
+            res = self._adjoint_batch(y, out)
+            guard_check(res, "A^T y", where="operator.adjoint", kind="output")
+            return res
         native = getattr(self.fmt, "transpose_spmv", None)
         if native is not None:
-            return native(y, out)
+            res = native(y, out)
+            guard_check(res, "A^T y", where="operator.adjoint", kind="output")
+            return res
         if self._adj_fallback is None:
             self._adj_fallback = self._build_fallback()
         res = self._adj_fallback.spmv(
             ensure_dtype(check_1d(y, self.shape[0], "y"), self.dtype, "y")
         )
+        guard_check(res, "A^T y", where="operator.adjoint", kind="output")
         if out is None:
             return res
         out[:] = res

@@ -19,6 +19,8 @@ from repro.errors import ValidationError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+from repro.resilience.guards import check as guard_check
+from repro.resilience.watchdog import resolve_watchdog
 from repro.sparse.csr import CSRMatrix
 from repro.utils.arrays import as_column_batch
 
@@ -55,17 +57,26 @@ def os_sart_reconstruct(
     x0: np.ndarray | None = None,
     nonneg: bool = True,
     callback=None,
+    watchdog=None,
 ) -> np.ndarray:
     """Run OS-SART for *iterations* full passes over all subsets.
 
     With ``num_subsets=1`` this reduces to plain SART.
+
+    ``watchdog`` (bool or ResidualWatchdog) enables the divergence
+    guard; its residual stream is a per-pass proxy — the root of the
+    summed squared per-subset residual norms already computed during
+    the pass, costing no extra SpMM.  Relax values above 2 are accepted
+    so a guarded run can recover from over-relaxation (see
+    :func:`repro.recon.sirt.sirt_reconstruct`).
     """
     if iterations < 1:
         raise ValidationError("iterations must be >= 1")
-    if not (0.0 < relax <= 2.0):
-        raise ValidationError("relax must be in (0, 2]")
+    if not (0.0 < relax <= 4.0):
+        raise ValidationError("relax must be in (0, 4]")
     m, n = csr.shape
     y, was_1d = as_column_batch(sinogram, m, "sinogram", csr.dtype)
+    guard_check(y, "sinogram", where="os_sart")
     k_cols = y.shape[1]
     if x0 is None:
         x = np.zeros((n, k_cols), dtype=np.float64)
@@ -86,18 +97,35 @@ def os_sart_reconstruct(
         inv_c = np.divide(1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 1e-12)
         pieces.append((sub, rows, inv_r, inv_c))
 
+    wd = resolve_watchdog(watchdog, solver="os_sart", relax=relax)
+    x_init = x.copy() if wd is not None else None
+
     iter_counter = obs_metrics.counter("os_sart.iterations", "OS-SART passes run")
     for it in range(iterations):
-        with span("os_sart.iter", k=it, subsets=len(pieces), batch=k_cols):
+        with span("os_sart.iter", k=it, subsets=len(pieces), batch=k_cols) as it_span:
+            x_pass = x.copy() if wd is not None else None
+            resid_sq = 0.0
             for sub, rows, inv_r, inv_c in pieces:
                 resid = y[rows].astype(np.float64) - sub.spmm(x.astype(csr.dtype)).astype(
                     np.float64
                 )
+                resid_sq += float(np.linalg.norm(resid)) ** 2
                 scaled = np.ascontiguousarray((resid * inv_r[:, None]).astype(csr.dtype))
                 back = sub.transpose_spmm(scaled).astype(np.float64)
                 x += relax * inv_c[:, None] * back
                 if nonneg:
                     np.maximum(x, 0, out=x)
+            if wd is not None and wd.observe(
+                it, float(np.sqrt(resid_sq)), x_pass
+            ) == "restart":
+                # discard the pass, resume from the best iterate with
+                # the backed-off relaxation
+                x = np.array(
+                    wd.best_x if wd.best_x is not None else x_init, copy=True
+                )
+                relax = wd.relax
+                it_span.set(restart=True)
+                continue
         iter_counter.inc()
         if callback is not None:
             full_resid = y.astype(np.float64) - csr.spmm(x.astype(csr.dtype)).astype(np.float64)

@@ -25,6 +25,8 @@ from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.recon.linops import ProjectionOperator
+from repro.resilience.guards import check as guard_check
+from repro.resilience.watchdog import resolve_watchdog
 from repro.utils.arrays import as_column_batch
 
 
@@ -38,6 +40,7 @@ def sirt_reconstruct(
     nonneg: bool = True,
     rtol: float = 0.0,
     callback=None,
+    watchdog=None,
 ) -> np.ndarray:
     """Run SIRT for *iterations* sweeps (early-exit on relative tolerance).
 
@@ -48,13 +51,22 @@ def sirt_reconstruct(
         For a sinogram stack both norms are Frobenius norms of the stack.
     callback : callable, optional
         ``callback(k, x, residual_norm)`` per iteration.
+    watchdog : bool or ResidualWatchdog, optional
+        Divergence guard (:mod:`repro.resilience.watchdog`): ``True``
+        for the defaults, or a configured instance.  On detection the
+        run restarts from the best iterate with ``relax`` backed off;
+        when the restart budget is exhausted a
+        :class:`~repro.errors.SolverError` carries the history.  Relax
+        values above 2 (the classical convergence bound) are accepted
+        precisely so a guarded run can recover from them.
     """
     if iterations < 1:
         raise ValidationError("iterations must be >= 1")
-    if not (0.0 < relax <= 2.0):
-        raise ValidationError("relax must be in (0, 2]")
+    if not (0.0 < relax <= 4.0):
+        raise ValidationError("relax must be in (0, 4]")
     m, n = op.shape
     y, was_1d = as_column_batch(sinogram, m, "sinogram", op.dtype)
+    guard_check(y, "sinogram", where="sirt")
     k_cols = y.shape[1]
     if x0 is None:
         x = np.zeros((n, k_cols), dtype=op.dtype)
@@ -70,16 +82,29 @@ def sirt_reconstruct(
     inv_r = np.divide(1.0, row_sums, out=np.zeros_like(row_sums), where=row_sums > 1e-12)
     inv_c = np.divide(1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 1e-12)
 
+    wd = resolve_watchdog(watchdog, solver="sirt", relax=relax)
+    x_init = x.copy() if wd is not None else None
+
     residual_gauge = obs_metrics.gauge("sirt.residual", "last SIRT residual norm")
     iter_counter = obs_metrics.counter("sirt.iterations", "SIRT iterations run")
     for k in range(iterations):
         with span("sirt.iter", k=k, batch=k_cols) as it_span:
             resid = (y - op.forward(x)).astype(np.float64)
+            rnorm = float(np.linalg.norm(resid))
+            if wd is not None and wd.observe(k, rnorm, x) == "restart":
+                # discard this sweep: resume from the best iterate with
+                # the backed-off relaxation the watchdog just set
+                x = np.asarray(
+                    wd.best_x if wd.best_x is not None else x_init,
+                    dtype=op.dtype,
+                ).copy()
+                relax = wd.relax
+                it_span.set(residual=rnorm, restart=True)
+                continue
             back = op.adjoint((resid * inv_r[:, None]).astype(op.dtype)).astype(np.float64)
             x = (x.astype(np.float64) + relax * inv_c[:, None] * back).astype(op.dtype)
             if nonneg:
                 np.maximum(x, 0, out=x)
-            rnorm = float(np.linalg.norm(resid))
             it_span.set(residual=rnorm)
         residual_gauge.set(rnorm)
         iter_counter.inc()

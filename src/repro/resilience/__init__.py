@@ -1,0 +1,39 @@
+"""repro.resilience — fault injection, numerical guards, and recovery.
+
+The production posture of the pipeline: every failure mode is *injected*
+(:mod:`~repro.resilience.faults`), *screened*
+(:mod:`~repro.resilience.guards`), *retried*
+(:mod:`~repro.resilience.retry`) or *recovered from*
+(:mod:`~repro.resilience.watchdog`) — and every event is observable
+through the :mod:`repro.obs` metrics registry as ``faults.*`` /
+``guard.*`` / ``retry.*`` counters.
+
+See ``docs/robustness.md`` for the operator-facing guide
+(``REPRO_FAULTS`` plans, ``REPRO_GUARD`` levels, watchdog semantics).
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import (
+    PROFILES,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    parse_plan,
+)
+from repro.resilience.guards import check as guard_check
+from repro.resilience.retry import backoff_delays, call_with_retries
+from repro.resilience.watchdog import ResidualWatchdog, resolve_watchdog
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "PROFILES",
+    "parse_plan",
+    "guard_check",
+    "backoff_delays",
+    "call_with_retries",
+    "ResidualWatchdog",
+    "resolve_watchdog",
+]

@@ -1,0 +1,78 @@
+"""Retry/backoff primitives shared by the resilience call sites.
+
+Two building blocks:
+
+* :func:`backoff_delays` — capped exponential backoff with deterministic
+  jitter.  Jitter decorrelates *processes* (cache-lock stampedes), so it
+  is seeded per-process (pid) rather than per-plan: two workers hammering
+  the same lock spread out, while one process replays identically.
+* :func:`call_with_retries` — run a callable up to *attempts* times,
+  sleeping a backoff delay between failures, counting every retry under
+  ``retry.<site>.attempts``; the final failure propagates unchanged.
+
+The pool-worker degradation policy (retry once on the pool, then run the
+task serially on the caller thread) lives in
+:func:`repro.utils.pool.run_resilient`, built on the same counters.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from collections.abc import Iterator
+
+
+def backoff_delays(
+    *,
+    base: float = 0.05,
+    cap: float = 2.0,
+    jitter: float = 0.5,
+    seed: int | None = None,
+) -> Iterator[float]:
+    """Yield ``base * 2^k`` capped at *cap*, each scaled by a random
+    factor in ``[1 - jitter, 1 + jitter]``.
+
+    ``seed=None`` seeds from the pid so concurrent processes
+    decorrelate; pass an explicit seed for reproducible schedules.
+    """
+    rng = random.Random(os.getpid() if seed is None else seed)
+    delay = base
+    while True:
+        yield delay * (1.0 - jitter + 2.0 * jitter * rng.random())
+        delay = min(cap, delay * 2.0)
+
+
+def call_with_retries(
+    fn,
+    *,
+    site: str,
+    attempts: int = 2,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    base: float = 0.0,
+    cap: float = 2.0,
+    sleep=time.sleep,
+):
+    """Call ``fn()``; on a *retry_on* failure, retry up to *attempts*
+    total tries with backoff sleeps between them.
+
+    ``base=0`` (default) skips sleeping entirely — right for in-process
+    work where the failure is not time-correlated.  The last exception
+    propagates; every extra try increments ``retry.<site>.attempts``.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    from repro.obs import metrics as obs_metrics
+
+    delays = backoff_delays(base=base or 0.05, cap=cap)
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retry_on:
+            if attempt + 1 >= attempts:
+                raise
+            obs_metrics.counter(
+                f"retry.{site}.attempts", "operations retried after a failure"
+            ).inc()
+            if base > 0:
+                sleep(next(delays))

@@ -1,0 +1,169 @@
+"""Residual watchdog: divergence detection and recovery for solvers.
+
+Iterative CT solvers diverge for mundane reasons — an over-relaxed
+lambda, inconsistent or NaN-poisoned data, a badly scaled system — and
+an unguarded loop happily iterates to overflow, returning garbage after
+the full iteration budget.  The watchdog turns that failure mode into a
+three-stage policy, applied per iteration from the residual stream the
+solvers already compute (no extra SpMV):
+
+1. **detect** — a residual that is non-finite, or that exceeds
+   ``growth_factor`` x the best residual seen for ``patience``
+   consecutive iterations, is declared divergence;
+2. **recover** — the solver restarts from the best iterate seen so far
+   and (for relaxation-based solvers) the relaxation factor is backed
+   off by ``backoff``; up to ``max_restarts`` times;
+3. **fail loudly** — when the restart budget is exhausted, a
+   :class:`~repro.errors.SolverError` carries the full iteration
+   history (residuals plus every watchdog action) for post-mortems.
+
+Interventions count under ``guard.watchdog.restarts`` /
+``guard.watchdog.failures``; the per-iteration bookkeeping is one float
+compare plus an array copy on new-best iterations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+class ResidualWatchdog:
+    """Divergence detector/recovery driver for one solver run.
+
+    Parameters
+    ----------
+    solver : str
+        Name used in messages and metrics (``"sirt"``, ``"cgls"``, ...).
+    relax : float, optional
+        Initial relaxation factor; tracked and backed off on every
+        restart.  ``None`` for solvers without one (CGLS).
+    patience : int
+        Consecutive grown residuals that count as divergence.
+    growth_factor : float
+        A residual above ``growth_factor * best`` is "grown".
+    backoff : float
+        Multiplier applied to ``relax`` on each restart.
+    max_restarts : int
+        Restart budget before :class:`SolverError` is raised.
+    min_relax : float
+        Floor for the backed-off relaxation factor.
+    """
+
+    def __init__(
+        self,
+        *,
+        solver: str,
+        relax: float | None = None,
+        patience: int = 3,
+        growth_factor: float = 2.0,
+        backoff: float = 0.5,
+        max_restarts: int = 3,
+        min_relax: float = 1e-3,
+    ):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if growth_factor <= 1.0:
+            raise ValueError("growth_factor must be > 1")
+        if not (0.0 < backoff < 1.0):
+            raise ValueError("backoff must be in (0, 1)")
+        self.solver = solver
+        self.relax = relax
+        self.patience = patience
+        self.growth_factor = growth_factor
+        self.backoff = backoff
+        self.max_restarts = max_restarts
+        self.min_relax = min_relax
+        self.history: list[dict] = []
+        self.restarts = 0
+        self.best_residual = math.inf
+        self.best_x: np.ndarray | None = None
+        self._streak = 0
+
+    def observe(self, iteration: int, residual: float, x: np.ndarray) -> str:
+        """Record one iteration; return ``"ok"`` or ``"restart"``.
+
+        *x* is the iterate the residual was measured against.  On
+        ``"restart"`` the caller must resume from :attr:`best_x` (or its
+        own initial guess when that is still ``None``) and re-read
+        :attr:`relax`.
+
+        Raises
+        ------
+        SolverError
+            When divergence is detected with no restart budget left; the
+            exception's ``history`` holds every observation and action.
+        """
+        residual = float(residual)
+        self.history.append({"iteration": iteration, "residual": residual})
+        if math.isfinite(residual) and residual < self.best_residual:
+            self.best_residual = residual
+            self.best_x = np.array(x, copy=True)
+            self._streak = 0
+            return "ok"
+        diverged = not math.isfinite(residual)
+        if not diverged:
+            if (
+                math.isfinite(self.best_residual)
+                and residual > self.growth_factor * self.best_residual
+            ):
+                self._streak += 1
+            else:
+                self._streak = 0
+            diverged = self._streak >= self.patience
+        if not diverged:
+            return "ok"
+        return self._diverged(iteration, residual)
+
+    def _diverged(self, iteration: int, residual: float) -> str:
+        from repro.obs import metrics as obs_metrics
+
+        self._streak = 0
+        if self.restarts >= self.max_restarts:
+            obs_metrics.counter(
+                "guard.watchdog.failures",
+                "solver runs the watchdog could not recover",
+            ).inc()
+            self.history.append(
+                {"iteration": iteration, "residual": residual,
+                 "action": "fail", "relax": self.relax}
+            )
+            raise SolverError(
+                f"{self.solver} diverged (residual {residual:.3e}, best "
+                f"{self.best_residual:.3e}) and exhausted its "
+                f"{self.max_restarts} restart(s)",
+                history=self.history,
+            )
+        self.restarts += 1
+        if self.relax is not None:
+            self.relax = max(self.min_relax, self.relax * self.backoff)
+        obs_metrics.counter(
+            "guard.watchdog.restarts",
+            "solver restarts triggered by the residual watchdog",
+        ).inc()
+        self.history.append(
+            {"iteration": iteration, "residual": residual,
+             "action": "restart", "relax": self.relax}
+        )
+        return "restart"
+
+
+def resolve_watchdog(
+    watchdog, *, solver: str, relax: float | None = None
+) -> ResidualWatchdog | None:
+    """Normalise a solver's ``watchdog=`` argument.
+
+    ``True`` builds a default :class:`ResidualWatchdog`, ``False``/
+    ``None`` disables it, and a ready instance is used as-is (its
+    ``relax`` is seeded from the solver's when unset).
+    """
+    if isinstance(watchdog, ResidualWatchdog):
+        if watchdog.relax is None and relax is not None:
+            watchdog.relax = relax
+        return watchdog
+    if watchdog:
+        return ResidualWatchdog(solver=solver, relax=relax)
+    return None

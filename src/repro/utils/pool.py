@@ -16,6 +16,12 @@ and resizes it against a config-driven ceiling:
   4 keeps the pool of 4).
 
 All pools register an ``atexit`` teardown.
+
+:func:`run_resilient` is the fan-out entry point the hot paths use: it
+degrades gracefully when a worker task crashes (retry once on the pool,
+then run that task serially on the caller thread), so one bad worker —
+real or injected via ``REPRO_FAULTS`` ``pool.task.*`` rules — costs
+wall-clock, never correctness.
 """
 
 from __future__ import annotations
@@ -81,6 +87,54 @@ class SharedPool:
                 self._pool.shutdown(wait=False)
                 self._pool = None
                 self._size = 0
+
+
+def run_resilient(shared: SharedPool, fn, items, workers: int, *, label: str) -> list:
+    """``[fn(item) for item in items]`` over the pool, degradation-hardened.
+
+    Policy per item: run on the pool; on any exception retry once on the
+    pool; on a second failure fall back to running that item serially on
+    the caller thread.  The serial path calls *fn* directly (outside the
+    ``pool.task.<label>`` injection point), so injected worker crashes
+    always degrade to the serial result while a deterministic real bug
+    still propagates from the serial run.
+
+    Item order (and therefore any downstream reduction order) is
+    preserved, so results are bitwise-identical to the fault-free run
+    whenever *fn* is idempotent per item — which every repro fan-out
+    (sweep chunks, pack partitions, SpMV block ranges) guarantees.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.resilience import faults
+
+    site = f"pool.task.{label}"
+
+    def wrapped(item):
+        faults.fire(site)
+        return fn(item)
+
+    items = list(items)
+    pool = shared.get(workers)
+    futures = [pool.submit(wrapped, item) for item in items]
+    out = []
+    for item, future in zip(items, futures):
+        try:
+            out.append(future.result())
+            continue
+        except Exception:
+            obs_metrics.counter(
+                f"retry.{site}.attempts", "pool tasks retried after a crash"
+            ).inc()
+        try:
+            out.append(pool.submit(wrapped, item).result())
+            continue
+        except Exception:
+            obs_metrics.counter(
+                f"retry.{site}.serial_fallbacks",
+                "pool tasks degraded to serial execution after two crashes",
+            ).inc()
+        out.append(fn(item))
+    return out
 
 
 # The two process-wide pools: SpMV's NumPy-threaded path (ceiling =

@@ -98,7 +98,7 @@ class TestSIRT:
         with pytest.raises(ValidationError):
             sirt_reconstruct(op, sino, iterations=0)
         with pytest.raises(ValidationError):
-            sirt_reconstruct(op, sino, relax=3.0)
+            sirt_reconstruct(op, sino, relax=5.0)
 
 
 class TestCGLS:
