@@ -17,6 +17,7 @@ so CI can diff scaling regressions.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import asdict, dataclass
 
@@ -134,15 +135,46 @@ def run_build_bench(
     return records
 
 
-def save_records(records: list[BuildBenchRecord], path: str = "BENCH_build.json") -> str:
-    """Write one JSON object per record (PerfRecord-style) to *path*."""
-    payload = {
-        "bench": "build",
-        "records": [asdict(r) for r in records],
+#: Bumped when the per-record shape changes; every appended record is
+#: tagged so mixed-schema files stay interpretable.
+BUILD_BENCH_SCHEMA = 2
+
+
+def save_records(
+    records: list[BuildBenchRecord],
+    path: str = "BENCH_build.json",
+    *,
+    fresh: bool = False,
+) -> str:
+    """Append *records* to *path* (schema-tagged, trajectory-style).
+
+    Appending is the default so worker-ladder runs accumulate into one
+    file; ``fresh=True`` restores the old truncate-and-write behavior.
+    """
+    from repro.bench.trajectory import git_rev
+    from repro.obs.perf import host_fingerprint
+
+    payload = {"bench": "build", "schema": BUILD_BENCH_SCHEMA, "records": []}
+    if not fresh:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+            if isinstance(existing, dict) and existing.get("bench") == "build":
+                payload["records"] = list(existing.get("records", []))
+        except (FileNotFoundError, ValueError):
+            pass
+    stamp = {
+        "schema": BUILD_BENCH_SCHEMA,
+        "host": host_fingerprint(),
+        "git_rev": git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
-    with open(path, "w", encoding="utf-8") as fh:
+    payload["records"].extend({**asdict(r), **stamp} for r in records)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
+    os.replace(tmp, path)
     return path
 
 

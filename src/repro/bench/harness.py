@@ -21,7 +21,7 @@ from repro.sparse.coo import COOMatrix
 from repro.sparse.matrix_base import SpMVFormat
 from repro.obs.trace import span
 from repro.sparse.stats import memory_requirement
-from repro.utils.timing import gflops, min_time, time_stats
+from repro.utils.timing import gflops, time_stats
 
 
 @dataclass
@@ -123,13 +123,7 @@ def run_suite(
     return records
 
 
-def measure_stream_bandwidth(size_mb: int = 256, repeats: int = 5) -> float:
-    """Host streaming-read bandwidth in GB/s (a tiny MLC stand-in).
-
-    Times ``np.sum`` over a buffer much larger than cache; used to
-    calibrate the HOST machine model.
-    """
-    n = size_mb * (1 << 20) // 8
-    buf = np.ones(n, dtype=np.float64)
-    t = min_time(lambda: float(buf.sum()), iterations=repeats, max_seconds=5.0)
-    return buf.nbytes / t / 1e9
+# The measurement itself now lives in repro.obs.perf (next to the
+# per-host cache that dispatch accounting reads); re-exported here so
+# existing harness callers keep working.
+from repro.obs.perf import measure_stream_bandwidth  # noqa: E402,F401

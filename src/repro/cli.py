@@ -6,7 +6,10 @@ Commands
 ``spmv``         benchmark formats on a dataset or generated matrix
 ``bench``        targeted micro-benchmarks (``spmm``: batched vs looped;
                  ``cache``: cold operator build vs warm mmap load;
-                 ``build``: cold-build wall time vs worker count)
+                 ``build``: cold-build wall time vs worker count;
+                 ``trajectory``: append a pinned-suite point to the
+                 committed BENCH_trajectory.json; ``compare``: noise-aware
+                 diff of two trajectory points, nonzero on regression)
 ``cache``        operator cache management (``ls``/``info``/``clear``/``warm``)
 ``convert``      build a CSCV matrix and save it to .npz
 ``kernels``      compiled-kernel status, or force a rebuild (clears the
@@ -18,7 +21,10 @@ Commands
 ``metrics``      dump the metrics registry in Prometheus text format
 
 Set ``REPRO_TRACE=1`` (or ``REPRO_TRACE=/path/to.jsonl``) to record spans
-during any command and dump them as JSON lines on exit.
+during any command and dump them as JSON lines on exit.  Set
+``REPRO_METRICS_PORT`` to serve live Prometheus metrics at ``/metrics``
+(and/or ``REPRO_METRICS_FLUSH=<path>`` for periodic JSONL snapshots)
+while a command runs.
 """
 
 from __future__ import annotations
@@ -48,6 +54,15 @@ def _cmd_info(args) -> int:
           f"(REPRO_TRACE; exporter: jsonl -> {st['trace_path']})")
     print(f"metrics        : {'on' if st['metrics'] else 'off'} "
           f"({st['metrics_registered']} instruments registered)")
+    runtime_desc = "off"
+    if st["metrics_runtime"]:
+        port = st["metrics_port"]
+        runtime_desc = (f"serving http://127.0.0.1:{port}/metrics"
+                        if port is not None else "flushing JSONL")
+    print(f"metrics runtime: {runtime_desc} "
+          f"(REPRO_METRICS_PORT / REPRO_METRICS_FLUSH)")
+    print(f"perf accounting: {'on' if st['perf_accounting'] else 'off'} "
+          f"(bytes-moved/GB/s histograms; on with tracing or the runtime)")
     print(f"profiling      : {'on' if st['profiling'] else 'off'} (REPRO_PROFILE)")
     cs = default_cache().stats()
     print(f"operator cache : {'on' if cs['enabled'] else 'off'} "
@@ -139,11 +154,54 @@ def _cmd_bench(args) -> int:
         )
         print(render(records, title=f"cold operator build vs workers, "
                                     f"{args.size}^2 image ({np.dtype(dtype)})"))
-        path = save_records(records, args.out)
-        print(f"records written to {path}")
+        path = save_records(records, args.out or "BENCH_build.json",
+                            fresh=args.fresh)
+        print(f"records {'written' if args.fresh else 'appended'} to {path}")
         return 0
-    print(f"unknown bench {args.what!r}; options: spmm, cache, build",
-          file=sys.stderr)
+    if args.what == "trajectory":
+        from repro.bench.trajectory import (
+            DEFAULT_TRAJECTORY_PATH,
+            append_point,
+            render_point,
+            run_trajectory,
+        )
+
+        point = run_trajectory(quick=args.quick)
+        path = args.out or DEFAULT_TRAJECTORY_PATH
+        payload = append_point(point, path)
+        print(render_point(point))
+        print(f"point {len(payload['points'])} appended to {path}")
+        return 0
+    if args.what == "compare":
+        from repro.bench.trajectory import (
+            DEFAULT_TRAJECTORY_PATH,
+            compare_points,
+            load_trajectory,
+            render_compare,
+        )
+
+        path = args.out or DEFAULT_TRAJECTORY_PATH
+        points = load_trajectory(path)["points"]
+        if len(points) < 2:
+            print(f"error: {path} has {len(points)} point(s); need two to "
+                  f"compare (run `repro bench trajectory` first)",
+                  file=sys.stderr)
+            return 2
+        old = points[args.baseline]
+        new = points[args.candidate]
+        results = compare_points(old, new)
+        print(render_compare(
+            results,
+            title=f"{old.get('git_rev', '?')} -> {new.get('git_rev', '?')}",
+        ))
+        regressions = [r for r in results if r["status"] == "regression"]
+        if regressions:
+            print(f"{len(regressions)} regression(s) above the noise-aware "
+                  f"threshold", file=sys.stderr)
+            return 0 if args.report_only else 1
+        return 0
+    print(f"unknown bench {args.what!r}; options: spmm, cache, build, "
+          f"trajectory, compare", file=sys.stderr)
     return 2
 
 
@@ -358,7 +416,8 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--s-vxg", type=int, default=2)
 
     bn = sub.add_parser("bench", help="targeted micro-benchmarks")
-    bn.add_argument("what", help="which bench to run (spmm, cache, build)")
+    bn.add_argument("what", help="which bench to run (spmm, cache, build, "
+                                 "trajectory, compare)")
     bn.add_argument("--size", type=int, default=256,
                     help="image side length (matrix is ~2*size^2 x size^2)")
     bn.add_argument("--formats", default="", help="comma-separated names")
@@ -375,8 +434,23 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated worker counts (bench build)")
     bn.add_argument("--repeats", type=int, default=1,
                     help="best-of repeats per cold build (bench build)")
-    bn.add_argument("--out", default="BENCH_build.json",
-                    help="JSON record path (bench build)")
+    bn.add_argument("--out", default=None,
+                    help="JSON record path (default BENCH_build.json for "
+                         "bench build, BENCH_trajectory.json for "
+                         "trajectory/compare)")
+    bn.add_argument("--fresh", action="store_true",
+                    help="truncate the record file instead of appending "
+                         "(bench build)")
+    bn.add_argument("--quick", action="store_true",
+                    help="small sizes / few iterations (bench trajectory)")
+    bn.add_argument("--report-only", action="store_true",
+                    help="print regressions but exit 0 (bench compare)")
+    bn.add_argument("--baseline", type=int, default=-2,
+                    help="trajectory point index to compare against "
+                         "(bench compare; default: second to last)")
+    bn.add_argument("--candidate", type=int, default=-1,
+                    help="trajectory point index under test "
+                         "(bench compare; default: last)")
 
     ca = sub.add_parser("cache", help="inspect/manage the operator cache")
     casub = ca.add_subparsers(dest="action", required=True)

@@ -50,6 +50,17 @@ Environment variables
 ``REPRO_PROFILE``
     ``1`` prints cProfile summaries of profiled regions to stderr; a
     path accumulates binary pstats there.  See :mod:`repro.obs.profile`.
+``REPRO_METRICS_PORT``
+    Unset (default): no metrics endpoint.  A port number starts a
+    background HTTP server on localhost serving the metric registry in
+    Prometheus text format at ``/metrics`` (``0`` picks an ephemeral
+    port).  Also enables bytes-moved perf accounting.  See
+    :mod:`repro.obs.runtime`.
+``REPRO_METRICS_FLUSH``
+    Unset (default): no flusher.  A path starts a background thread
+    appending one JSONL metrics snapshot there every
+    ``REPRO_METRICS_FLUSH_SEC`` seconds (default 10), plus a final
+    flush at interpreter exit.
 """
 
 from __future__ import annotations
@@ -142,6 +153,34 @@ def env_trace() -> tuple[bool, str | None]:
     if raw.lower() in ("1", "true", "yes", "on"):
         return True, None
     return True, raw
+
+
+#: Default seconds between JSONL metric snapshots (``REPRO_METRICS_FLUSH_SEC``).
+DEFAULT_METRICS_FLUSH_SEC = 10.0
+
+
+def env_metrics_port() -> int | None:
+    """``REPRO_METRICS_PORT``: /metrics exporter port, or None for off.
+
+    ``0`` is valid and binds an ephemeral port (tests, parallel CI runs).
+    """
+    raw = os.environ.get("REPRO_METRICS_PORT", "").strip()
+    if raw == "" or raw.lower() in ("off", "none", "false", "no"):
+        return None
+    port = int(raw)
+    if not (0 <= port <= 65535):
+        raise ValueError(f"REPRO_METRICS_PORT must be 0..65535, got {port}")
+    return port
+
+
+def env_metrics_flush() -> tuple[str | None, float]:
+    """``REPRO_METRICS_FLUSH`` (JSONL path or None) + flush interval."""
+    path = os.environ.get("REPRO_METRICS_FLUSH", "").strip() or None
+    raw = os.environ.get("REPRO_METRICS_FLUSH_SEC", "").strip()
+    interval = float(raw) if raw else DEFAULT_METRICS_FLUSH_SEC
+    if interval <= 0:
+        raise ValueError("REPRO_METRICS_FLUSH_SEC must be > 0")
+    return path, interval
 
 
 def cache_root() -> str:

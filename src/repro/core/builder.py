@@ -46,6 +46,7 @@ from repro.errors import FormatError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
 from repro.geometry.sweep import resolve_build_workers
 from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
 from repro.obs.profile import profiled
 from repro.obs.trace import span
 from repro.utils.pool import build_pool, run_resilient
@@ -179,6 +180,7 @@ def build_cscv(
     if reference_mode not in ("ioblr", "btb"):
         raise FormatError(f"unknown reference_mode {reference_mode!r}")
     workers = resolve_build_workers(workers)
+    t0 = obs_perf.clock() if obs_perf.active else 0.0
     with span("build.cscv", nnz=nnz, reference_mode=reference_mode,
               s_vvec=s_vvec, s_imgb=params.s_imgb,
               s_vxg=s_vxg) as build_span, profiled("build.cscv"):
@@ -280,6 +282,12 @@ def build_cscv(
     obs_metrics.gauge(
         "build.vxg_fill", "fraction of CSCV-Z value slots that are real nonzeros"
     ).set(data.nnz / data.stored_slots if data.stored_slots else 1.0)
+    if obs_perf.active:
+        out_bytes = sum(
+            v.nbytes for v in merged.values() if hasattr(v, "nbytes")
+        )
+        obs_perf.record_build(seconds=obs_perf.clock() - t0,
+                              bytes_written=out_bytes, nnz=nnz)
     return data
 
 

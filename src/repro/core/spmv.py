@@ -28,6 +28,7 @@ from repro import config
 from repro.core.builder import CSCVData
 from repro.kernels import dispatch
 from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
 from repro.obs.trace import span
 from repro.utils.pool import run_resilient, spmv_pool
 
@@ -109,6 +110,7 @@ def spmv_z(data: CSCVData, x: np.ndarray, y: np.ndarray, *, threads: int | None 
     y[:] = 0
     if data.nnz == 0:
         return y
+    t0 = obs_perf.clock() if obs_perf.active else 0.0
     fn = dispatch.get("cscv_z_spmv", data.dtype)
     if fn is not None:
         with span("spmv.z", backend="c", nnz=data.nnz,
@@ -130,17 +132,23 @@ def spmv_z(data: CSCVData, x: np.ndarray, y: np.ndarray, *, threads: int | None 
                 int(threads),
             )
         _count_call("z", "c")
+        if obs_perf.active:
+            obs_perf.record_cscv("spmv", "z", "c", data, obs_perf.clock() - t0)
         return y
     rows = flat_rows if flat_rows is not None else resolve_flat_rows_z(data)
     if threads <= 1 or data.num_blocks < 2 * threads:
         with span("spmv.z", backend="flat", nnz=data.nnz, blocks=data.num_blocks):
             _accumulate_z(data, x, y, rows, 0, data.num_blocks)
         _count_call("z", "flat")
+        if obs_perf.active:
+            obs_perf.record_cscv("spmv", "z", "flat", data, obs_perf.clock() - t0)
         return y
     with span("spmv.z", backend="threaded", nnz=data.nnz,
               blocks=data.num_blocks, threads=int(threads)):
         _threaded(data, x, y, rows, threads, _accumulate_z)
     _count_call("z", "threaded")
+    if obs_perf.active:
+        obs_perf.record_cscv("spmv", "z", "threaded", data, obs_perf.clock() - t0)
     return y
 
 
@@ -165,6 +173,7 @@ def spmv_m(data: CSCVData, x: np.ndarray, y: np.ndarray, *, threads: int | None 
     y[:] = 0
     if data.nnz == 0:
         return y
+    t0 = obs_perf.clock() if obs_perf.active else 0.0
     fn = dispatch.get("cscv_m_spmv", data.dtype)
     if fn is not None:
         with span("spmv.m", backend="c", nnz=data.nnz,
@@ -189,17 +198,23 @@ def spmv_m(data: CSCVData, x: np.ndarray, y: np.ndarray, *, threads: int | None 
                 int(threads),
             )
         _count_call("m", "c")
+        if obs_perf.active:
+            obs_perf.record_cscv("spmv", "m", "c", data, obs_perf.clock() - t0)
         return y
     rows = flat_rows if flat_rows is not None else resolve_flat_rows_m(data)
     if threads <= 1 or data.num_blocks < 2 * threads:
         with span("spmv.m", backend="flat", nnz=data.nnz, blocks=data.num_blocks):
             _accumulate_m(data, x, y, rows, 0, data.num_blocks)
         _count_call("m", "flat")
+        if obs_perf.active:
+            obs_perf.record_cscv("spmv", "m", "flat", data, obs_perf.clock() - t0)
         return y
     with span("spmv.m", backend="threaded", nnz=data.nnz,
               blocks=data.num_blocks, threads=int(threads)):
         _threaded(data, x, y, rows, threads, _accumulate_m)
     _count_call("m", "threaded")
+    if obs_perf.active:
+        obs_perf.record_cscv("spmv", "m", "threaded", data, obs_perf.clock() - t0)
     return y
 
 
@@ -253,6 +268,7 @@ def spmm_z(data: CSCVData, X: np.ndarray, Y: np.ndarray, *,
     k = X.shape[1]
     if data.nnz == 0 or k == 0:
         return Y
+    t0 = obs_perf.clock() if obs_perf.active else 0.0
     fn = dispatch.get("cscv_z_spmm", data.dtype)
     if fn is not None:
         with span("spmm.z", backend="c", nnz=data.nnz, batch=k,
@@ -275,6 +291,8 @@ def spmm_z(data: CSCVData, X: np.ndarray, Y: np.ndarray, *,
                 int(threads),
             )
         _count_call("z_mm", "c")
+        if obs_perf.active:
+            obs_perf.record_cscv("spmm", "z", "c", data, obs_perf.clock() - t0, k)
         return Y
     rows = flat_rows if flat_rows is not None else resolve_flat_rows_z(data)
     if threads <= 1 or data.num_blocks < 2 * threads:
@@ -282,11 +300,17 @@ def spmm_z(data: CSCVData, X: np.ndarray, Y: np.ndarray, *,
                   blocks=data.num_blocks):
             _accumulate_z_mm(data, X, Y, rows, 0, data.num_blocks)
         _count_call("z_mm", "flat")
+        if obs_perf.active:
+            obs_perf.record_cscv("spmm", "z", "flat", data,
+                                 obs_perf.clock() - t0, k)
         return Y
     with span("spmm.z", backend="threaded", nnz=data.nnz, batch=k,
               blocks=data.num_blocks, threads=int(threads)):
         _threaded(data, X, Y, rows, threads, _accumulate_z_mm)
     _count_call("z_mm", "threaded")
+    if obs_perf.active:
+        obs_perf.record_cscv("spmm", "z", "threaded", data,
+                             obs_perf.clock() - t0, k)
     return Y
 
 
@@ -317,6 +341,7 @@ def spmm_m(data: CSCVData, X: np.ndarray, Y: np.ndarray, *,
     k = X.shape[1]
     if data.nnz == 0 or k == 0:
         return Y
+    t0 = obs_perf.clock() if obs_perf.active else 0.0
     fn = dispatch.get("cscv_m_spmm", data.dtype)
     if fn is not None:
         with span("spmm.m", backend="c", nnz=data.nnz, batch=k,
@@ -342,6 +367,8 @@ def spmm_m(data: CSCVData, X: np.ndarray, Y: np.ndarray, *,
                 int(threads),
             )
         _count_call("m_mm", "c")
+        if obs_perf.active:
+            obs_perf.record_cscv("spmm", "m", "c", data, obs_perf.clock() - t0, k)
         return Y
     rows = flat_rows if flat_rows is not None else resolve_flat_rows_m(data)
     if threads <= 1 or data.num_blocks < 2 * threads:
@@ -349,11 +376,17 @@ def spmm_m(data: CSCVData, X: np.ndarray, Y: np.ndarray, *,
                   blocks=data.num_blocks):
             _accumulate_m_mm(data, X, Y, rows, 0, data.num_blocks)
         _count_call("m_mm", "flat")
+        if obs_perf.active:
+            obs_perf.record_cscv("spmm", "m", "flat", data,
+                                 obs_perf.clock() - t0, k)
         return Y
     with span("spmm.m", backend="threaded", nnz=data.nnz, batch=k,
               blocks=data.num_blocks, threads=int(threads)):
         _threaded(data, X, Y, rows, threads, _accumulate_m_mm)
     _count_call("m_mm", "threaded")
+    if obs_perf.active:
+        obs_perf.record_cscv("spmm", "m", "threaded", data,
+                             obs_perf.clock() - t0, k)
     return Y
 
 

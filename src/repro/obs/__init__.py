@@ -47,6 +47,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import profiled
 from repro.obs.trace import Span, Tracer, is_enabled, span, tracer
+from repro.obs import perf, runtime
 
 __all__ = [
     "span",
@@ -76,6 +77,11 @@ __all__ = [
     "env_trace",
     "default_trace_path",
     "status",
+    "perf",
+    "runtime",
+    "start_metrics_runtime",
+    "stop_metrics_runtime",
+    "metrics_runtime_active",
 ]
 
 #: Fallback dump path when ``REPRO_TRACE=1`` names no file.
@@ -91,20 +97,29 @@ def default_trace_path() -> str:
 
 
 def enable() -> None:
-    """Turn on span recording (metrics are always on unless disabled)."""
+    """Turn on span recording and bytes-moved perf accounting."""
     config.runtime.trace = True
     tracer.enable()
+    perf.enable()
 
 
 def disable() -> None:
     config.runtime.trace = False
     tracer.disable()
+    if not runtime.is_active():  # the live exporter still needs perf data
+        perf.disable()
 
 
 def reset() -> None:
     """Clear recorded spans and all metric instruments."""
     tracer.reset()
     registry.reset()
+
+
+#: Start the live metrics runtime (HTTP /metrics exporter + JSONL flusher).
+start_metrics_runtime = runtime.start
+stop_metrics_runtime = runtime.stop
+metrics_runtime_active = runtime.is_active
 
 
 def init_from_env() -> bool:
@@ -115,6 +130,8 @@ def init_from_env() -> bool:
     """
     if config.runtime.trace:
         tracer.enable()
+        perf.enable()
+    runtime.start_from_env()
     from repro.obs import profile as _profile
 
     prof_on, prof_path = _profile.env_profile()
@@ -149,4 +166,7 @@ def status() -> dict:
         "metrics": registry.enabled,
         "metrics_registered": len(registry.names()),
         "profiling": _profile.is_enabled(),
+        "perf_accounting": perf.is_active(),
+        "metrics_runtime": runtime.is_active(),
+        "metrics_port": runtime.server_port(),
     }

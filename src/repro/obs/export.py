@@ -125,6 +125,10 @@ def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
             lines.append(f'{full}_bucket{{le="+Inf"}} {acc}')
             lines.append(f"{full}_sum {snap['sum']}")
             lines.append(f"{full}_count {snap['count']}")
+            for label, value in snap.get("quantiles", {}).items():
+                if value is not None:
+                    q = float(label.lstrip("p")) / 100.0
+                    lines.append(f'{full}{{quantile="{q:g}"}} {value}')
         else:
             lines.append(f"{full} {snap['value']}")
     return "\n".join(lines) + ("\n" if lines else "")
@@ -180,8 +184,25 @@ def span_tree_report(spans: list[Span], *, max_children: int = 12) -> str:
     return "\n".join(lines)
 
 
+def _exact_quantile(sorted_values: list[float], q: float) -> float:
+    """Exact q-quantile of a sorted sample (nearest-rank with interpolation)."""
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    frac = pos - lo
+    if lo + 1 >= len(sorted_values):
+        return sorted_values[-1]
+    return sorted_values[lo] * (1 - frac) + sorted_values[lo + 1] * frac
+
+
 def stage_summary(spans: list[Span]) -> str:
-    """Aggregate wall-clock by span name — the Fig-7-style breakdown."""
+    """Aggregate wall-clock by span name — the Fig-7-style breakdown.
+
+    The p90/p99 columns are exact (computed from the raw per-span
+    durations, not bucket estimates) — tail latency of solver iterations
+    and pool tasks is exactly what regression hunts look at.
+    """
     if not spans:
         return "(no spans recorded)"
     from repro.utils.tables import Table
@@ -190,10 +211,14 @@ def stage_summary(spans: list[Span]) -> str:
     for s in spans:
         agg[s.name].append(s.seconds)
     total = sum(sum(v) for v in agg.values()) or 1.0
-    t = Table(headers=["span", "calls", "total ms", "mean ms", "share"],
+    t = Table(headers=["span", "calls", "total ms", "mean ms",
+                       "p90 ms", "p99 ms", "share"],
               title="aggregate by span name")
     for name in sorted(agg, key=lambda n: -sum(agg[n])):
-        v = agg[name]
+        v = sorted(agg[name])
         t.add_row(name, len(v), f"{sum(v) * 1e3:.3f}",
-                  f"{sum(v) / len(v) * 1e3:.3f}", f"{sum(v) / total:6.1%}")
+                  f"{sum(v) / len(v) * 1e3:.3f}",
+                  f"{_exact_quantile(v, 0.90) * 1e3:.3f}",
+                  f"{_exact_quantile(v, 0.99) * 1e3:.3f}",
+                  f"{sum(v) / total:6.1%}")
     return t.render()

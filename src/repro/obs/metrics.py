@@ -35,6 +35,9 @@ DEFAULT_BUCKETS = (
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
 )
 
+#: Default quantiles estimated in every histogram snapshot.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
 
 class Counter:
     """Monotonically increasing count."""
@@ -88,7 +91,9 @@ class Histogram:
 
     ``buckets`` are upper bounds (ascending); an implicit ``+Inf`` bucket
     catches the overflow, mirroring the Prometheus layout so the text
-    exporter is a direct dump.
+    exporter is a direct dump.  ``quantiles`` selects which tail
+    estimates each snapshot carries (linear interpolation inside the
+    containing bucket, clamped to the observed min/max).
     """
 
     kind = "histogram"
@@ -98,13 +103,17 @@ class Histogram:
         name: str,
         help: str = "",
         buckets: tuple = DEFAULT_BUCKETS,
+        quantiles: tuple = DEFAULT_QUANTILES,
         _reg: "MetricsRegistry" = None,
     ):
         if not buckets or list(buckets) != sorted(buckets):
             raise ValueError("buckets must be a non-empty ascending sequence")
+        if any(not (0.0 < q < 1.0) for q in quantiles):
+            raise ValueError("quantiles must lie strictly inside (0, 1)")
         self.name = name
         self.help = help
         self.buckets = tuple(float(b) for b in buckets)
+        self.quantiles = tuple(float(q) for q in quantiles)
         self.counts = [0] * (len(self.buckets) + 1)  # + overflow
         self.sum = 0.0
         self.count = 0
@@ -129,8 +138,44 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def _quantile_locked(self, q: float) -> float:
+        """Estimate the *q*-quantile from the bucket counts (lock held).
+
+        Walks the cumulative counts to the containing bucket, then
+        interpolates linearly inside it; the open ends (below the first
+        bound, above the last) are clamped by the observed min/max.
+        """
+        target = q * self.count
+        cum = 0
+        for idx, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cum + n >= target:
+                lo = self.buckets[idx - 1] if idx > 0 else self._min
+                hi = self.buckets[idx] if idx < len(self.buckets) else self._max
+                lo = max(lo, self._min)
+                hi = min(hi, self._max)
+                if hi <= lo:
+                    return lo
+                return lo + (target - cum) / n * (hi - lo)
+            cum += n
+        return self._max
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated *q*-quantile of everything observed, or None if empty."""
+        if not (0.0 < q < 1.0):
+            raise ValueError("quantile must lie strictly inside (0, 1)")
+        with self._lock:
+            if not self.count:
+                return None
+            return self._quantile_locked(q)
+
     def snapshot(self) -> dict:
         with self._lock:
+            quantiles = {
+                f"p{q * 100:g}": self._quantile_locked(q) if self.count else None
+                for q in self.quantiles
+            }
             return {
                 "type": self.kind,
                 "buckets": list(self.buckets),
@@ -139,6 +184,7 @@ class Histogram:
                 "count": self.count,
                 "min": self._min if self.count else None,
                 "max": self._max if self.count else None,
+                "quantiles": quantiles,
             }
 
 
@@ -171,8 +217,16 @@ class MetricsRegistry:
             raise TypeError(f"metric {name!r} already registered as {inst.kind}")
         return inst
 
-    def histogram(self, name: str, help: str = "", buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
-        inst = self._get(name, lambda: Histogram(name, help, buckets, _reg=self))
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple = DEFAULT_BUCKETS,
+        quantiles: tuple = DEFAULT_QUANTILES,
+    ) -> Histogram:
+        inst = self._get(
+            name, lambda: Histogram(name, help, buckets, quantiles, _reg=self)
+        )
         if not isinstance(inst, Histogram):
             raise TypeError(f"metric {name!r} already registered as {inst.kind}")
         return inst
@@ -188,10 +242,18 @@ class MetricsRegistry:
         return self._instruments.get(name)
 
     def snapshot(self) -> dict:
-        """Plain-data snapshot of every instrument (JSON-serialisable)."""
+        """Plain-data snapshot of every instrument (JSON-serialisable).
+
+        The whole iteration runs under the registry lock so a concurrent
+        first-use registration from a pool worker can't mutate the dict
+        mid-iteration, and a concurrent :meth:`reset` can't swap the map
+        out from under a half-built snapshot.
+        """
         with self._lock:
-            items = list(self._instruments.items())
-        return {name: inst.snapshot() for name, inst in sorted(items)}
+            return {
+                name: inst.snapshot()
+                for name, inst in sorted(self._instruments.items())
+            }
 
     def reset(self) -> None:
         """Drop every instrument (tests; keeps the enabled flag)."""
@@ -211,5 +273,10 @@ def gauge(name: str, help: str = "") -> Gauge:
     return registry.gauge(name, help)
 
 
-def histogram(name: str, help: str = "", buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
-    return registry.histogram(name, help, buckets)
+def histogram(
+    name: str,
+    help: str = "",
+    buckets: tuple = DEFAULT_BUCKETS,
+    quantiles: tuple = DEFAULT_QUANTILES,
+) -> Histogram:
+    return registry.histogram(name, help, buckets, quantiles)

@@ -7,6 +7,13 @@ pipeline tree the paper's stage breakdown plots.  The tracer is
 process-wide and thread-aware: each thread keeps its own span stack, all
 finished spans land in one shared list.
 
+Work shipped to another thread would normally open *root* spans there
+(the worker's stack starts empty).  :meth:`Tracer.current_context`
+captures the submitting span's (id, depth) and :meth:`Tracer.attach`
+re-establishes it as the ambient parent on the worker, so pool tasks
+nest under the span that submitted them; :func:`repro.utils.pool.run_resilient`
+does this automatically.
+
 Overhead discipline: when tracing is disabled :func:`span` returns a
 shared no-op context manager — one attribute load and one branch on the
 hot path, nothing else.  ``min_time`` workloads therefore measure the
@@ -62,6 +69,31 @@ class _NoopSpan:
 
 
 _NOOP = _NoopSpan()
+
+_UNSET = object()
+
+
+class _Attached:
+    """Scoped install of an ambient (parent id, depth) on this thread."""
+
+    __slots__ = ("_tracer", "_ctx", "_prev")
+
+    def __init__(self, tracer: "Tracer", ctx):
+        self._tracer = tracer
+        self._ctx = ctx
+        self._prev = _UNSET
+
+    def __enter__(self):
+        if self._ctx is not None:
+            local = self._tracer._local
+            self._prev = getattr(local, "ambient", None)
+            local.ambient = self._ctx
+        return self
+
+    def __exit__(self, *exc):
+        if self._prev is not _UNSET:
+            self._tracer._local.ambient = self._prev
+        return False
 
 
 class _Active:
@@ -135,7 +167,12 @@ class Tracer:
             self._next_id += 1
         if stack:
             s.parent = stack[-1].id
-        s.depth = len(stack)
+            s.depth = stack[-1].depth + 1
+        else:
+            ambient = getattr(self._local, "ambient", None)
+            if ambient is not None:
+                s.parent, parent_depth = ambient
+                s.depth = parent_depth + 1
         stack.append(s)
 
     def _pop(self, s: Span) -> None:
@@ -144,6 +181,31 @@ class Tracer:
             stack.pop()
         with self._lock:
             self.spans.append(s)
+
+    # ------------------------------------------------------------------ #
+    # cross-thread context propagation
+
+    def current_context(self) -> tuple[int, int] | None:
+        """(id, depth) of this thread's innermost open span, or None.
+
+        Capture this on the submitting thread and hand it to
+        :meth:`attach` on the worker so the worker's spans parent under
+        the submitting span instead of becoming roots.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1].id, stack[-1].depth
+        return getattr(self._local, "ambient", None)
+
+    def attach(self, ctx: tuple[int, int] | None):
+        """Context manager installing *ctx* as this thread's ambient parent.
+
+        New root-level spans opened while attached parent under
+        ``ctx[0]`` at depth ``ctx[1] + 1``.  Nesting is saved/restored,
+        and ``attach(None)`` is a cheap no-op (so callers can always
+        pass whatever :meth:`current_context` returned).
+        """
+        return _Attached(self, ctx)
 
     # ------------------------------------------------------------------ #
     # queries

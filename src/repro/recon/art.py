@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
 from repro.obs.trace import span
 from repro.recon.linops import ProjectionOperator
 from repro.resilience.guards import check as guard_check
@@ -109,7 +110,9 @@ def art_reconstruct(
 
     residual_gauge = obs_metrics.gauge("art.residual", "last ART residual norm")
     iter_counter = obs_metrics.counter("art.iterations", "ART sweeps run")
+    meter = obs_perf.ConvergenceMeter("art", y_norm=float(np.linalg.norm(y)))
     for k in range(iterations):
+        it_t0 = obs_perf.clock() if obs_perf.active else 0.0
         with span("art.iter", k=k) as it_span:
             resid = y - op.forward(x)
             rnorm = float(np.linalg.norm(resid))
@@ -129,6 +132,10 @@ def art_reconstruct(
             it_span.set(residual=rnorm)
         residual_gauge.set(rnorm)
         iter_counter.inc()
+        meter.observe(
+            k, rnorm,
+            seconds=obs_perf.clock() - it_t0 if obs_perf.active else None,
+        )
         if callback is not None:
             callback(k, x, rnorm)
     return x

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
 from repro.obs.trace import span
 from repro.recon.linops import ProjectionOperator
 from repro.resilience.guards import check as guard_check
@@ -88,10 +89,14 @@ def cgls_reconstruct(
     )
     iter_counter = obs_metrics.counter("cgls.iterations", "CGLS iterations run")
     rnorm = float(np.sqrt(gamma.sum()))
+    meter = obs_perf.ConvergenceMeter(
+        "cgls", y_norm=float(np.sqrt(gamma0.sum())) or 1.0, rtol=rtol
+    )
     for k in range(iterations):
         active &= gamma > rtol * rtol * gamma0
         if not active.any():
             break
+        it_t0 = obs_perf.clock() if obs_perf.active else 0.0
         with span("cgls.iter", k=k, batch=k_cols) as it_span:
             q = op.forward(p.astype(op.dtype)).astype(np.float64)
             qq = np.einsum("ij,ij->j", q, q) + damping * np.einsum("ij,ij->j", p, p)
@@ -116,6 +121,10 @@ def cgls_reconstruct(
             it_span.set(residual=rnorm)
         residual_gauge.set(rnorm)
         iter_counter.inc()
+        meter.observe(
+            k, rnorm,
+            seconds=obs_perf.clock() - it_t0 if obs_perf.active else None,
+        )
         if callback is not None:
             xk = x.astype(op.dtype)
             callback(k, xk[:, 0] if was_1d else xk, rnorm)

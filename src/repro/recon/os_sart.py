@@ -18,6 +18,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.geometry.parallel_beam import ParallelBeamGeometry
 from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
 from repro.obs.trace import span
 from repro.resilience.guards import check as guard_check
 from repro.resilience.watchdog import resolve_watchdog
@@ -101,7 +102,11 @@ def os_sart_reconstruct(
     x_init = x.copy() if wd is not None else None
 
     iter_counter = obs_metrics.counter("os_sart.iterations", "OS-SART passes run")
+    meter = obs_perf.ConvergenceMeter(
+        "os_sart", y_norm=float(np.linalg.norm(y)) or 1.0
+    )
     for it in range(iterations):
+        it_t0 = obs_perf.clock() if obs_perf.active else 0.0
         with span("os_sart.iter", k=it, subsets=len(pieces), batch=k_cols) as it_span:
             x_pass = x.copy() if wd is not None else None
             resid_sq = 0.0
@@ -127,6 +132,10 @@ def os_sart_reconstruct(
                 it_span.set(restart=True)
                 continue
         iter_counter.inc()
+        meter.observe(
+            it, float(np.sqrt(resid_sq)),
+            seconds=obs_perf.clock() - it_t0 if obs_perf.active else None,
+        )
         if callback is not None:
             full_resid = y.astype(np.float64) - csr.spmm(x.astype(csr.dtype)).astype(np.float64)
             rnorm = float(np.linalg.norm(full_resid))

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
 from repro.obs.trace import span
 from repro.recon.linops import ProjectionOperator
 from repro.resilience.guards import check as guard_check
@@ -87,7 +88,9 @@ def sirt_reconstruct(
 
     residual_gauge = obs_metrics.gauge("sirt.residual", "last SIRT residual norm")
     iter_counter = obs_metrics.counter("sirt.iterations", "SIRT iterations run")
+    meter = obs_perf.ConvergenceMeter("sirt", y_norm=y_norm, rtol=rtol)
     for k in range(iterations):
+        it_t0 = obs_perf.clock() if obs_perf.active else 0.0
         with span("sirt.iter", k=k, batch=k_cols) as it_span:
             resid = (y - op.forward(x)).astype(np.float64)
             rnorm = float(np.linalg.norm(resid))
@@ -108,6 +111,10 @@ def sirt_reconstruct(
             it_span.set(residual=rnorm)
         residual_gauge.set(rnorm)
         iter_counter.inc()
+        meter.observe(
+            k, rnorm,
+            seconds=obs_perf.clock() - it_t0 if obs_perf.active else None,
+        )
         if callback is not None:
             callback(k, x[:, 0] if was_1d else x, rnorm)
         if rtol > 0 and rnorm / y_norm < rtol:

@@ -16,6 +16,7 @@ import numpy as np
 from repro.config import INDEX_DTYPE
 from repro.errors import ValidationError
 from repro.kernels import dispatch
+from repro.obs import perf as obs_perf
 from repro.sparse.coo import COOMatrix
 from repro.sparse.matrix_base import SpMVFormat, register_format
 
@@ -71,6 +72,7 @@ class CSRMatrix(SpMVFormat):
 
     def spmv_into(self, x, y):
         x = self._check_x(x)
+        t0 = obs_perf.clock() if obs_perf.active else 0.0
         fn = dispatch.get("csr_spmv", self.dtype)
         if fn is not None:
             fn(
@@ -81,9 +83,14 @@ class CSRMatrix(SpMVFormat):
                 x,
                 y,
             )
+            if obs_perf.active:
+                obs_perf.record_format("spmv", self, "c", obs_perf.clock() - t0)
             return y
         products = self.vals * x[self.col_idx]
-        return segment_sum(products, self.row_ptr, y)
+        y = segment_sum(products, self.row_ptr, y)
+        if obs_perf.active:
+            obs_perf.record_format("spmv", self, "numpy", obs_perf.clock() - t0)
+        return y
 
     def spmm_into(self, X, Y):
         """Multi-RHS product: C kernel when available, else one reduceat
@@ -92,9 +99,13 @@ class CSRMatrix(SpMVFormat):
         if k == 0:
             Y[:] = 0
             return Y
+        t0 = obs_perf.clock() if obs_perf.active else 0.0
         fn = dispatch.get("csr_spmm", self.dtype)
         if fn is not None:
             fn(self.shape[0], k, self.row_ptr, self.col_idx, self.vals, X, Y)
+            if obs_perf.active:
+                obs_perf.record_format("spmm", self, "c",
+                                       obs_perf.clock() - t0, k)
             return Y
         products = self.vals[:, None] * X[self.col_idx.astype(np.int64)]
         ptr = np.asarray(self.row_ptr, dtype=np.int64)
@@ -103,6 +114,9 @@ class CSRMatrix(SpMVFormat):
         if np.any(nonempty):
             red = np.add.reduceat(products, ptr[:-1][nonempty], axis=0)
             Y[nonempty] = red
+        if obs_perf.active:
+            obs_perf.record_format("spmm", self, "numpy",
+                                   obs_perf.clock() - t0, k)
         return Y
 
     def memory_bytes(self):

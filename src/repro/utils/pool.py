@@ -105,13 +105,19 @@ def run_resilient(shared: SharedPool, fn, items, workers: int, *, label: str) ->
     (sweep chunks, pack partitions, SpMV block ranges) guarantees.
     """
     from repro.obs import metrics as obs_metrics
+    from repro.obs.trace import tracer
     from repro.resilience import faults
 
     site = f"pool.task.{label}"
 
+    # Propagate the submitting span to the workers: without this every
+    # span a worker opens becomes a root and the trace tree shatters.
+    ctx = tracer.current_context() if tracer.enabled else None
+
     def wrapped(item):
-        faults.fire(site)
-        return fn(item)
+        with tracer.attach(ctx):
+            faults.fire(site)
+            return fn(item)
 
     items = list(items)
     pool = shared.get(workers)

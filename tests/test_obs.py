@@ -148,6 +148,61 @@ class TestMetrics:
         json.dumps(snap)  # must be serialisable
         assert snap["t.c"]["type"] == "counter"
 
+    def test_snapshot_safe_under_concurrent_registration(self, clean_metrics):
+        """snapshot() must hold the registry lock for its whole iteration."""
+        import threading
+
+        errors = []
+
+        def churn():
+            # keep the registry small but guarantee fresh-name inserts
+            # are landing while snapshots iterate
+            for i in range(4000):
+                obs.counter(f"race.c{i % 500}").inc()
+
+        def snap():
+            try:
+                for _ in range(100):
+                    json.dumps(obs.registry.snapshot())
+            except RuntimeError as exc:  # "dict changed size ..."
+                errors.append(exc)
+
+        churner = threading.Thread(target=churn)
+        snapper = threading.Thread(target=snap)
+        churner.start()
+        snapper.start()
+        churner.join()
+        snapper.join()
+        assert not errors
+
+    def test_histogram_quantiles_in_snapshot(self, clean_metrics):
+        h = obs.histogram("t.q", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0, 8.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert set(snap["quantiles"]) == {"p50", "p90", "p99"}
+        # estimates interpolate inside buckets but must stay clamped to
+        # the observed range and be monotone in q
+        q50, q90, q99 = (snap["quantiles"][k] for k in ("p50", "p90", "p99"))
+        assert 0.5 <= q50 <= q90 <= q99 <= 8.0
+        assert h.quantile(0.01) >= 0.5  # clamped to the observed min
+
+    def test_histogram_custom_quantiles(self, clean_metrics):
+        h = obs.histogram("t.q2", buckets=(10.0,), quantiles=(0.25, 0.75))
+        h.observe(5.0)
+        assert set(h.snapshot()["quantiles"]) == {"p25", "p75"}
+
+    def test_histogram_rejects_bad_quantiles(self, clean_metrics):
+        with pytest.raises(ValueError):
+            obs.histogram("t.q3", quantiles=(0.0,))
+        with pytest.raises(ValueError):
+            obs.histogram("t.q4", quantiles=(1.5,))
+
+    def test_empty_histogram_quantiles_are_none(self, clean_metrics):
+        h = obs.histogram("t.q5")
+        assert h.quantile(0.9) is None
+        assert all(v is None for v in h.snapshot()["quantiles"].values())
+
 
 # ---------------------------------------------------------------------- #
 # exporters
@@ -195,6 +250,23 @@ class TestExporters:
         assert "repro_sirt_residual 0.25" in text
         assert 'repro_h_bucket{le="+Inf"} 1' in text
         assert "repro_h_count 1" in text
+
+    def test_prometheus_quantile_lines(self, clean_metrics):
+        h = obs.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        text = obs.prometheus_text(obs.registry)
+        assert 'repro_lat{quantile="0.5"}' in text
+        assert 'repro_lat{quantile="0.99"}' in text
+
+    def test_stage_summary_has_exact_quantile_columns(self, traced):
+        from repro.obs.export import stage_summary
+
+        for _ in range(5):
+            with obs.span("stage.a"):
+                pass
+        out = stage_summary(traced.finished())
+        assert "p90 ms" in out and "p99 ms" in out and "stage.a" in out
 
     def test_tree_report_and_summary(self, traced):
         with obs.span("build.cscv"):
@@ -288,6 +360,74 @@ class TestPipelineSpans:
         assert obs.registry.get("build.r_nnze").count == 1
         fill = obs.registry.get("build.vxg_fill").value
         assert fill == pytest.approx(data.nnz / data.stored_slots)
+
+
+# ---------------------------------------------------------------------- #
+# cross-thread trace propagation
+
+
+class TestTracePropagation:
+    def test_current_context_and_attach(self, traced):
+        assert obs.tracer.current_context() is None
+        with obs.span("outer"):
+            ctx = obs.tracer.current_context()
+            assert ctx is not None
+        with obs.tracer.attach(ctx):
+            with obs.span("adopted"):
+                pass
+        with obs.tracer.attach(None):  # no-op attach
+            with obs.span("rootish"):
+                pass
+        outer = traced.find("outer")[0]
+        adopted = traced.find("adopted")[0]
+        assert adopted.parent == outer.id
+        assert adopted.depth == outer.depth + 1
+        assert traced.find("rootish")[0].parent == -1
+
+    def test_pool_worker_spans_parent_under_submitter(self, traced):
+        from repro.utils.pool import SharedPool, run_resilient
+
+        pool = SharedPool("test-trace-prop", lambda: 2)
+
+        def work(i):
+            with obs.span("worker.task", item=i):
+                return i * 2
+
+        try:
+            with obs.span("fanout"):
+                out = run_resilient(pool, work, range(4), 2, label="traceprop")
+        finally:
+            pool.shutdown()
+        assert out == [0, 2, 4, 6]
+        root = traced.find("fanout")[0]
+        tasks = traced.find("worker.task")
+        assert len(tasks) == 4
+        assert all(t.parent == root.id and t.depth == 1 for t in tasks)
+
+    def test_serial_degradation_keeps_parenting(self, traced, clean_metrics):
+        """Workers that crash degrade to the caller thread, whose span
+        stack still holds the submitting span — parenting must survive."""
+        from repro.resilience import faults
+        from repro.utils.pool import SharedPool, run_resilient
+
+        pool = SharedPool("test-trace-serial", lambda: 2)
+
+        def work(i):
+            with obs.span("worker.task", item=i):
+                return i + 1
+
+        try:
+            with faults.inject("pool.task.traceser:raise"):
+                with obs.span("fanout"):
+                    out = run_resilient(pool, work, range(3), 2,
+                                        label="traceser")
+        finally:
+            pool.shutdown()
+        assert out == [1, 2, 3]
+        root = traced.find("fanout")[0]
+        tasks = traced.find("worker.task")
+        assert len(tasks) == 3
+        assert all(t.parent == root.id and t.depth == 1 for t in tasks)
 
 
 # ---------------------------------------------------------------------- #
@@ -399,6 +539,9 @@ class TestHarnessAndCLI:
                          "--iterations", "2", "--no-cache"]) == 0
         finally:
             obs.tracer.enabled = prev_enabled
+            if not prev_enabled:
+                from repro.obs import perf
+                perf.disable()
         assert target.exists()
         names = {s.name for s in obs.load_jsonl(str(target))}
         assert "build.cscv" in names and "sirt.iter" in names
