@@ -4,26 +4,19 @@ Run:  python examples/ct_reconstruction.py [image_size]
 
 The paper's motivating application: reconstruct an image from its
 sinogram with SpMV-heavy iterative solvers (SIRT, CGLS, blocked ART) plus
-the FBP analytic reference, all driven through the CSCV-Z operator, and
-report image quality + where the time goes.  An ASCII rendering of the
-phantom and the SIRT reconstruction is printed at the end.
+the FBP analytic reference, all through the one `repro.reconstruct`
+facade over the solver registry, and report image quality + where the
+time goes.  An ASCII rendering of the phantom and the best
+reconstruction is printed at the end.
 """
 
 import sys
-import time
 
 import numpy as np
 
-from repro import CSCVParams, ParallelBeamGeometry, operator
+from repro import CSCVParams, ParallelBeamGeometry, operator, reconstruct
 from repro.geometry.phantom import shepp_logan
-from repro.recon import (
-    art_reconstruct,
-    cgls_reconstruct,
-    fbp_reconstruct,
-    psnr,
-    relative_error,
-    sirt_reconstruct,
-)
+from repro.recon import psnr, relative_error
 
 _RAMP = " .:-=+*#%@"
 
@@ -55,21 +48,22 @@ def main(image_size: int = 64) -> None:
     rng = np.random.default_rng(0)
     noisy = sinogram + rng.normal(0.0, 0.01 * sinogram.max(), sinogram.shape)
 
-    solvers = {
-        "FBP (analytic)": lambda: fbp_reconstruct(op, noisy, geom),
-        "SIRT x60": lambda: sirt_reconstruct(op, noisy, iterations=60),
-        "CGLS x25": lambda: cgls_reconstruct(op, noisy, iterations=25),
-        "ART  x30": lambda: art_reconstruct(op, noisy, iterations=30, relax=0.8),
-    }
+    runs = [
+        ("fbp", {}),
+        ("sirt", {"iterations": 60}),
+        ("cgls", {"iterations": 25}),
+        ("art", {"iterations": 30, "relax": 0.8}),
+    ]
     best = None
-    for name, solve in solvers.items():
-        t0 = time.perf_counter()
-        x = solve()
-        dt = time.perf_counter() - t0
+    for solver, params in runs:
+        res = reconstruct(op, noisy, solver=solver, geom=geom, **params)
+        x = res.image
         err = relative_error(x, truth)
-        print(f"  {name:15s} rel.err {err:.4f}  psnr {psnr(x, truth):6.2f} dB  ({dt:5.2f}s)")
+        label = f"{solver} x{res.iterations}" if res.iterations else solver
+        print(f"  {label:15s} rel.err {err:.4f}  psnr {psnr(x, truth):6.2f} dB  "
+              f"({res.wall_seconds:5.2f}s, stop: {res.stop_reason})")
         if best is None or err < best[1]:
-            best = (name, err, x)
+            best = (label, err, x)
 
     name, err, x = best
     print(f"\nground truth {image_size}x{image_size}:")

@@ -30,10 +30,13 @@ them back memory-mapped in milliseconds.
 
 from repro._version import __version__
 from repro.api import (
+    ReconstructionResult,
     SkippedFormat,
     build_ct_matrix,
     build_format,
     operator,
+    operator_cache_key,
+    reconstruct,
     spmv_all_formats,
 )
 from repro.core import (
@@ -58,6 +61,9 @@ from repro.sparse import (
 __all__ = [
     "__version__",
     "operator",
+    "operator_cache_key",
+    "reconstruct",
+    "ReconstructionResult",
     "build_ct_matrix",
     "build_format",
     "spmv_all_formats",

@@ -1,24 +1,29 @@
-"""Top-level API: one call from geometry to a ready operator.
+"""Top-level API: one call from geometry to a ready operator, one more
+call from operator to a reconstructed image.
 
 :func:`operator` is the library's front door — it resolves the geometry,
 runs the projector sweep, converts to the requested sparse format and
 wraps the result in a :class:`~repro.recon.linops.ProjectionOperator`,
 consulting the persistent operator cache (:mod:`repro.core.cache`) at
 every step so repeat constructions are near-instant memory-mapped loads.
-The older helpers :func:`build_ct_matrix` / :func:`build_format` are thin
-wrappers over the same internals and remain for scripts that want the raw
-COO matrix or a bare format instance.
+:func:`reconstruct` is the matching solver front door: any registered
+solver (:data:`repro.recon.registry.SOLVERS`) by name, parameters
+validated against the solver's schema, and a structured
+:class:`ReconstructionResult` instead of a bare array.  The older
+helpers :func:`build_ct_matrix` / :func:`build_format` /
+``sirt_reconstruct`` et al. remain as thin equivalents.
 
 Error semantics at this boundary are uniform: problems with *your
-arguments* (unknown projector or format name, missing ``geom``,
-out-of-range parameters) raise :class:`~repro.errors.ValidationError`;
-problems *loading or validating stored data* raise
-:class:`~repro.errors.FormatError`.
+arguments* (unknown projector, format or solver name, missing ``geom``,
+unknown or out-of-range solver parameters) raise
+:class:`~repro.errors.ValidationError`; problems *loading or validating
+stored data* raise :class:`~repro.errors.FormatError`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -132,6 +137,41 @@ def _construct_format(
     return cls.from_coo(coo.shape, coo.rows, coo.cols, coo.vals, **kwargs)
 
 
+def operator_cache_key(
+    image_size_or_geom,
+    *,
+    fmt: str = "cscv-z",
+    projector: str = "strip",
+    params: CSCVParams | None = None,
+    dtype=np.float32,
+    num_views: int | None = None,
+    reference_mode: str = "ioblr",
+) -> str:
+    """The content-addressed cache key :func:`operator` would use.
+
+    Pure function of the operator-defining inputs — no build, no cache
+    I/O.  The serving layer (:mod:`repro.serve`) coalesces jobs whose
+    keys match into one batched solve; scripts can use it to check
+    whether two requests share a physical operator.
+    """
+    from repro.core.cache import operator_key
+
+    geom = _resolve_geom(image_size_or_geom, num_views)
+    cls = _resolve_format_class(fmt)
+    _resolve_projector(projector)
+    is_cscv = issubclass(cls, (CSCVZMatrix, CSCVMMatrix))
+    if is_cscv and params is None:
+        params = CSCVParams()
+    return operator_key(
+        geom=geom,
+        fmt=fmt,
+        projector=projector,
+        dtype=np.dtype(dtype),
+        params=params if is_cscv else None,
+        reference_mode=reference_mode if is_cscv else "ioblr",
+    )
+
+
 def operator(
     image_size_or_geom,
     *,
@@ -191,7 +231,7 @@ def operator(
     ProjectionOperator
         Wrapping the requested format; ``op.fmt`` is the format instance.
     """
-    from repro.core.cache import default_cache, operator_key
+    from repro.core.cache import default_cache
     from repro.obs import metrics as obs_metrics
     from repro.recon.linops import ProjectionOperator
 
@@ -225,13 +265,9 @@ def operator(
     if store is None:
         return ProjectionOperator(build())
 
-    key = operator_key(
-        geom=geom,
-        fmt=fmt,
-        projector=projector,
-        dtype=dtype,
-        params=params if is_cscv else None,
-        reference_mode=reference_mode if is_cscv else "ioblr",
+    key = operator_cache_key(
+        geom, fmt=fmt, projector=projector, params=params, dtype=dtype,
+        reference_mode=reference_mode,
     )
     try:
         fmt_obj, cached = store.get_or_build(key, cls, build, threads=threads)
@@ -306,6 +342,166 @@ def build_format(
     """
     return _construct_format(
         name, coo, geom=geom, params=params, dtype=dtype, **format_kwargs
+    )
+
+
+@dataclass(frozen=True)
+class ReconstructionResult:
+    """Structured result of :func:`reconstruct`.
+
+    Attributes
+    ----------
+    image : numpy.ndarray
+        The reconstructed image vector (n,) — or stack (n, k) for a
+        sinogram stack.
+    history : tuple of IterationEvent
+        One :class:`~repro.recon.events.IterationEvent` per completed
+        iteration, iterate arrays stripped (``x is None``) so results
+        stay light; empty for analytic solvers (FBP).
+    iterations : int
+        Iterations actually run (completed sweeps; watchdog-discarded
+        sweeps do not count).
+    stop_reason : str
+        ``"max_iterations"`` (budget exhausted), ``"converged"``
+        (tolerance or breakdown early-exit), ``"restarted"`` (watchdog
+        interventions consumed part of the budget) or ``"analytic"``
+        (non-iterative solver).
+    wall_seconds : float
+        End-to-end solver wall time.
+    solver : str
+        Registry name of the solver that ran.
+    params : dict
+        The validated parameters the run used, schema defaults applied —
+        the exact parameterisation, reproducible by passing it back.
+    """
+
+    image: np.ndarray
+    history: tuple = ()
+    iterations: int = 0
+    stop_reason: str = "max_iterations"
+    wall_seconds: float = 0.0
+    solver: str = ""
+    params: dict = field(default_factory=dict)
+
+    @property
+    def residual_history(self) -> np.ndarray:
+        """Driving residual norm per iteration (see ``residual_meaning``)."""
+        return np.array([e.norm for e in self.history], dtype=np.float64)
+
+    @property
+    def residual_meaning(self) -> str:
+        """What the driving norm measures (``"residual"`` for SIRT/ART/
+        OS-SART, ``"normal_residual"`` for CGLS)."""
+        return self.history[-1].meaning if self.history else "residual"
+
+
+def reconstruct(
+    op,
+    sinogram: np.ndarray,
+    *,
+    solver: str = "sirt",
+    geom=None,
+    x0: np.ndarray | None = None,
+    callback=None,
+    watchdog=None,
+    **params,
+) -> ReconstructionResult:
+    """Run any registered solver on *op* — the unified reconstruction API.
+
+    One facade over the four iterative solvers plus FBP::
+
+        op = repro.operator(256)
+        res = repro.reconstruct(op, sino, solver="cgls", iterations=25)
+        res.image, res.residual_history, res.stop_reason
+
+    Parameters
+    ----------
+    op : ProjectionOperator
+        Forward/adjoint pair from :func:`operator` (any format;
+        OS-SART extracts a CSR view via ``op.to_csr()``).
+    sinogram : array
+        Measured data: (m,) for one slice, (m, k) for a stack (the
+        column-separable solvers run the whole stack in one batched
+        SpMM pass).
+    solver : str
+        A :data:`repro.recon.registry.SOLVERS` name — ``"sirt"``,
+        ``"cgls"``, ``"art"``, ``"os-sart"`` or ``"fbp"``.
+    geom : ParallelBeamGeometry, optional
+        Required by solvers with the ``needs_geom`` capability
+        (OS-SART's view subsets, FBP's ramp filter).
+    x0, callback, watchdog
+        Passed through to iterative solvers; ``callback`` may be the
+        legacy 3-argument form or an
+        :class:`~repro.recon.events.IterationEvent` consumer.
+    **params
+        Solver parameters, validated against the solver's schema.
+        Unknown or out-of-range names raise
+        :class:`~repro.errors.ValidationError` messages naming the
+        solver and its accepted parameters — nothing is silently
+        ignored.
+
+    Returns
+    -------
+    ReconstructionResult
+    """
+    from repro.recon.events import as_event_callback
+    from repro.recon.registry import get_solver
+    from repro.resilience.watchdog import resolve_watchdog
+
+    spec = get_solver(solver)
+    validated = spec.validate_params(params, apply_defaults=True)
+    iterative = spec.supports("iterative")
+    if not iterative:
+        for name, value in (("x0", x0), ("callback", callback),
+                            ("watchdog", watchdog)):
+            if value is not None and value is not False:
+                raise ValidationError(
+                    f"solver {spec.name!r} is analytic; {name}= does not apply"
+                )
+    if spec.supports("needs_geom") and geom is None:
+        raise ValidationError(
+            f"solver {spec.name!r} requires geom= "
+            f"(capability: needs_geom)"
+        )
+
+    history: list = []
+    user_cb = as_event_callback(callback)
+
+    def _recorder(event) -> None:
+        history.append(event.with_x(None))
+        if user_cb is not None:
+            user_cb(event)
+
+    _recorder.accepts_events = True
+
+    wd = resolve_watchdog(
+        watchdog, solver=spec.name, relax=validated.get("relax")
+    ) if iterative else None
+
+    t0 = time.perf_counter()
+    image = spec.runner(
+        op, sinogram, geom=geom, x0=x0,
+        callback=_recorder if iterative else None,
+        watchdog=wd, **validated,
+    )
+    wall = time.perf_counter() - t0
+
+    if not iterative:
+        stop = "analytic"
+    elif len(history) >= validated.get("iterations", 0):
+        stop = "max_iterations"
+    elif wd is not None and wd.restarts > 0:
+        stop = "restarted"
+    else:
+        stop = "converged"
+    return ReconstructionResult(
+        image=image,
+        history=tuple(history),
+        iterations=len(history),
+        stop_reason=stop,
+        wall_seconds=wall,
+        solver=spec.name,
+        params=validated,
     )
 
 

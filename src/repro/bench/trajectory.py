@@ -170,6 +170,18 @@ def run_trajectory(*, quick: bool = False, sizes=None) -> dict:
             nnz=0, traffic_bytes=rec.entry_bytes, stream_gbs=stream_gbs,
         ))
 
+    # serving layer: closed-loop jobs/s + latency per concurrency level
+    from repro.bench.serve import run_serve_bench, serve_cases
+
+    serve_recs = run_serve_bench(
+        size=build_size,
+        jobs_per_level=8 if quick else 16,
+        concurrency_levels=(1, 8),
+        iterations=5 if quick else 10,
+        quick=quick,
+    )
+    cases.extend(serve_cases(serve_recs, size=build_size))
+
     return {
         "schema": TRAJECTORY_SCHEMA,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),

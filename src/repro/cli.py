@@ -172,6 +172,29 @@ def _cmd_bench(args) -> int:
         print(render_point(point))
         print(f"point {len(payload['points'])} appended to {path}")
         return 0
+    if args.what == "serve":
+        from repro.bench.serve import render, run_serve_bench
+
+        levels = tuple(int(c) for c in args.concurrency.split(","))
+        records = run_serve_bench(
+            size=args.size,
+            jobs_per_level=args.jobs,
+            concurrency_levels=levels,
+            solver=args.solver,
+            iterations=args.iterations,
+            workers=args.serve_workers,
+            quick=args.quick,
+        )
+        print(render(records,
+                     title=f"serve load sweep, {args.size}^2 image, "
+                           f"{args.solver} ({args.jobs} jobs/level)"))
+        serial = next((r for r in records if r.concurrency == 1), None)
+        top = max(records, key=lambda r: r.concurrency)
+        if serial and top.concurrency > 1:
+            print(f"concurrency {top.concurrency}: "
+                  f"{top.jobs_per_s / serial.jobs_per_s:.2f}x the serial "
+                  f"jobs/s (mean batch width {top.mean_batch_width:.1f})")
+        return 1 if any(r.failed for r in records) else 0
     if args.what == "compare":
         from repro.bench.trajectory import (
             DEFAULT_TRAJECTORY_PATH,
@@ -285,43 +308,106 @@ def _cmd_convert(args) -> int:
     return 0
 
 
+def _parse_cli_params(items) -> dict:
+    """``--param key=value`` pairs -> solver kwargs (JSON-typed values).
+
+    Values parse as JSON when possible (``0.5`` -> float, ``true`` ->
+    bool) and fall back to plain strings (``hann``); the solver registry
+    does the real validation and names the accepted parameters on error.
+    """
+    import json
+
+    from repro.errors import ValidationError
+
+    params = {}
+    for item in items or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ValidationError(
+                f"--param expects key=value, got {item!r}"
+            )
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
 def _cmd_reconstruct(args) -> int:
-    from repro.api import operator
+    from repro.api import operator, reconstruct
     from repro.core.params import CSCVParams
+    from repro.errors import ValidationError
     from repro.geometry.parallel_beam import ParallelBeamGeometry
     from repro.geometry.phantom import shepp_logan
-    from repro.recon import (
-        art_reconstruct, cgls_reconstruct,
-        fbp_reconstruct, relative_error, sirt_reconstruct,
-    )
+    from repro.recon import relative_error
+    from repro.recon.registry import get_solver
+
+    try:
+        spec = get_solver(args.solver)
+    except ValidationError as exc:
+        # usage error, not a library failure: same exit code argparse
+        # would use for a bad choice
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     geom = ParallelBeamGeometry.for_image(args.size, 2 * args.size)
     truth = shepp_logan(args.size).ravel()
     op = operator(geom, fmt="cscv-z", params=CSCVParams(8, 16, 2),
                   dtype=np.float64, cache=not args.no_cache)
     sino = op.forward(truth)
-    wd = bool(args.watchdog)
-    solvers = {
-        "sirt": lambda: sirt_reconstruct(
-            op, sino, iterations=args.iterations, relax=args.relax, watchdog=wd
-        ),
-        "cgls": lambda: cgls_reconstruct(
-            op, sino, iterations=args.iterations, watchdog=wd
-        ),
-        "art": lambda: art_reconstruct(
-            op, sino, iterations=args.iterations, watchdog=wd
-        ),
-        "fbp": lambda: fbp_reconstruct(op, sino, geom),
-    }
-    if args.solver not in solvers:
-        print(f"unknown solver {args.solver}; options {sorted(solvers)}", file=sys.stderr)
-        return 2
+
+    # only explicitly-set flags reach the registry, so each solver keeps
+    # its own schema defaults and unknown parameters fail with the
+    # solver's accepted-parameter list; the shared convenience flags
+    # (--iterations/--relax) only apply where the schema accepts them
+    # (e.g. fbp takes neither), matching the old CLI's behaviour
+    params = _parse_cli_params(args.param)
+    accepted = spec.param_names()
+    if args.iterations is not None and "iterations" in accepted:
+        params["iterations"] = args.iterations
+    if args.relax is not None and "relax" in accepted:
+        params["relax"] = args.relax
+    extra = {"watchdog": True} if args.watchdog else {}
+
     from repro.obs import profiled
 
     with profiled(f"reconstruct.{args.solver}"):
-        x = solvers[args.solver]()
+        res = reconstruct(op, sino, solver=args.solver, geom=geom,
+                          **extra, **params)
     print(f"{args.solver} on {args.size}^2 Shepp-Logan: "
-          f"relative error {relative_error(x, truth):.4f}")
+          f"relative error {relative_error(res.image, truth):.4f} "
+          f"({res.iterations} iterations, stop: {res.stop_reason}, "
+          f"{res.wall_seconds:.2f}s)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import time as _time
+
+    from repro.serve import ServeConfig, ServiceRunner, serve_http
+
+    config = ServeConfig(
+        workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window,
+        default_deadline_s=args.deadline,
+    )
+    runner = ServiceRunner(config).start()
+    server = serve_http(runner, host=args.host, port=args.port)
+    print(f"repro serve listening on http://{args.host}:{server.port} "
+          f"(workers={config.workers}, max_batch={config.max_batch}, "
+          f"queue depth {config.max_queue_depth}/tenant)")
+    print("endpoints: POST /v1/reconstruct, GET /v1/jobs/<id>[/progress], "
+          "GET /metrics, GET /healthz")
+    try:
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        server.stop()
+        runner.stop()
     return 0
 
 
@@ -417,7 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bn = sub.add_parser("bench", help="targeted micro-benchmarks")
     bn.add_argument("what", help="which bench to run (spmm, cache, build, "
-                                 "trajectory, compare)")
+                                 "trajectory, compare, serve)")
     bn.add_argument("--size", type=int, default=256,
                     help="image side length (matrix is ~2*size^2 x size^2)")
     bn.add_argument("--formats", default="", help="comma-separated names")
@@ -451,6 +537,15 @@ def build_parser() -> argparse.ArgumentParser:
     bn.add_argument("--candidate", type=int, default=-1,
                     help="trajectory point index under test "
                          "(bench compare; default: last)")
+    bn.add_argument("--concurrency", default="1,2,4,8",
+                    help="comma-separated closed-loop client counts "
+                         "(bench serve)")
+    bn.add_argument("--jobs", type=int, default=24,
+                    help="jobs per concurrency level (bench serve)")
+    bn.add_argument("--solver", default="sirt",
+                    help="registry solver the load runs (bench serve)")
+    bn.add_argument("--serve-workers", type=int, default=2,
+                    help="service worker-pool size (bench serve)")
 
     ca = sub.add_parser("cache", help="inspect/manage the operator cache")
     casub = ca.add_subparsers(dest="action", required=True)
@@ -478,17 +573,39 @@ def build_parser() -> argparse.ArgumentParser:
     cv.add_argument("--reference-mode", default="ioblr", choices=["ioblr", "btb"])
 
     rc = sub.add_parser("reconstruct", help="reconstruct a phantom")
-    rc.add_argument("--solver", default="sirt")
+    rc.add_argument("--solver", default="sirt",
+                    help="any registry solver (repro.recon.available_solvers())")
     rc.add_argument("--size", type=int, default=64)
-    rc.add_argument("--iterations", type=int, default=50)
-    rc.add_argument("--relax", type=float, default=1.0,
-                    help="relaxation factor (SIRT; >2 needs --watchdog to "
-                         "recover)")
+    rc.add_argument("--iterations", type=int, default=None,
+                    help="iteration budget (default: the solver's schema "
+                         "default)")
+    rc.add_argument("--relax", type=float, default=None,
+                    help="relaxation factor (solvers with the 'relax' "
+                         "capability; >2 needs --watchdog to recover)")
+    rc.add_argument("--param", action="append", metavar="KEY=VALUE",
+                    help="extra solver parameter (repeatable); validated "
+                         "against the solver's registry schema")
     rc.add_argument("--watchdog", action="store_true",
                     help="enable the residual watchdog (divergence detection "
                          "+ restart with backed-off relaxation)")
     rc.add_argument("--no-cache", action="store_true",
                     help="bypass the persistent operator cache")
+
+    sv = sub.add_parser("serve", help="run the reconstruction service "
+                                      "(HTTP JSON API)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8471,
+                    help="listen port (0 picks an ephemeral port)")
+    sv.add_argument("--workers", type=int, default=2,
+                    help="concurrent solver batches")
+    sv.add_argument("--max-queue-depth", type=int, default=16,
+                    help="queued jobs allowed per tenant before 429")
+    sv.add_argument("--max-batch", type=int, default=8,
+                    help="most jobs coalesced into one SpMM batch")
+    sv.add_argument("--batch-window", type=float, default=0.01,
+                    help="seconds a coalescible job waits for key-mates")
+    sv.add_argument("--deadline", type=float, default=None,
+                    help="default per-job deadline in seconds")
 
     kn = sub.add_parser("kernels", help="compiled kernel library status / build")
     kn.add_argument("action", nargs="?", choices=("status", "build"),
@@ -521,6 +638,7 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "kernels": _cmd_kernels,
     "reconstruct": _cmd_reconstruct,
+    "serve": _cmd_serve,
     "experiment": _cmd_experiment,
     "calibrate": _cmd_calibrate,
     "trace": _cmd_trace,

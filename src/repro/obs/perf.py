@@ -409,3 +409,11 @@ class ConvergenceMeter:
                 f"{self.solver}.iters_to_tol",
                 "iterations needed to reach the requested tolerance",
             ).set(k + 1)
+
+    def observe_event(self, event, seconds: float | None = None) -> None:
+        """Typed-event form of :meth:`observe`.
+
+        Consumes an :class:`~repro.recon.events.IterationEvent`, reading
+        the event's driving norm so the meter stays solver-agnostic.
+        """
+        self.observe(event.k, event.norm, seconds)

@@ -1,6 +1,6 @@
 """Live metrics runtime: an HTTP ``/metrics`` endpoint + JSONL flusher.
 
-Long-running work (a big reconstruction, the future serving layer) needs
+Long-running work (a big reconstruction, the serving layer) needs
 its telemetry *while it runs*, not in a post-mortem dump.  This module
 provides the two standard transports, built purely on the stdlib:
 

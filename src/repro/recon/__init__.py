@@ -18,18 +18,35 @@ run at high frequency with a fixed matrix.  This package provides:
 
 from repro.recon.art import art_reconstruct, kaczmarz_sweep
 from repro.recon.cgls import cgls_reconstruct
+from repro.recon.events import IterationEvent, as_event_callback
 from repro.recon.fbp import fbp_reconstruct
 from repro.recon.icd import icd_reconstruct
 from repro.recon.linops import ProjectionOperator
 from repro.recon.metrics import psnr, rmse, relative_error
+from repro.recon.os_sart import os_sart_reconstruct
+from repro.recon.registry import (
+    SOLVERS,
+    Param,
+    SolverSpec,
+    available_solvers,
+    get_solver,
+)
 from repro.recon.sirt import sirt_reconstruct
 
 __all__ = [
     "ProjectionOperator",
+    "IterationEvent",
+    "as_event_callback",
+    "SOLVERS",
+    "Param",
+    "SolverSpec",
+    "available_solvers",
+    "get_solver",
     "art_reconstruct",
     "kaczmarz_sweep",
     "sirt_reconstruct",
     "cgls_reconstruct",
+    "os_sart_reconstruct",
     "icd_reconstruct",
     "fbp_reconstruct",
     "rmse",

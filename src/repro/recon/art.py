@@ -19,6 +19,7 @@ from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
 from repro.obs import perf as obs_perf
 from repro.obs.trace import span
+from repro.recon.events import IterationEvent, as_event_callback
 from repro.recon.linops import ProjectionOperator
 from repro.resilience.guards import check as guard_check
 from repro.resilience.watchdog import resolve_watchdog
@@ -81,7 +82,8 @@ def art_reconstruct(
         Project onto the nonnegative orthant each iteration (attenuation
         cannot be negative).
     callback : callable, optional
-        ``callback(k, x, residual_norm)`` per iteration.
+        Per-iteration hook: legacy ``callback(k, x, residual_norm)`` or
+        an :class:`~repro.recon.events.IterationEvent` consumer.
     watchdog : bool or ResidualWatchdog, optional
         Divergence guard; see :func:`repro.recon.sirt.sirt_reconstruct`.
     """
@@ -107,6 +109,7 @@ def art_reconstruct(
 
     wd = resolve_watchdog(watchdog, solver="art", relax=relax)
     x_init = x.copy() if wd is not None else None
+    cb = as_event_callback(callback)
 
     residual_gauge = obs_metrics.gauge("art.residual", "last ART residual norm")
     iter_counter = obs_metrics.counter("art.iterations", "ART sweeps run")
@@ -116,7 +119,11 @@ def art_reconstruct(
         with span("art.iter", k=k) as it_span:
             resid = y - op.forward(x)
             rnorm = float(np.linalg.norm(resid))
-            if wd is not None and wd.observe(k, rnorm, x) == "restart":
+            event = IterationEvent(
+                k=k, x=x, residual_norm=rnorm, normal_residual_norm=None,
+                solver="art",
+            )
+            if wd is not None and wd.observe_event(event) == "restart":
                 x = np.asarray(
                     wd.best_x if wd.best_x is not None else x_init,
                     dtype=op.dtype,
@@ -132,10 +139,10 @@ def art_reconstruct(
             it_span.set(residual=rnorm)
         residual_gauge.set(rnorm)
         iter_counter.inc()
-        meter.observe(
-            k, rnorm,
+        meter.observe_event(
+            event,
             seconds=obs_perf.clock() - it_t0 if obs_perf.active else None,
         )
-        if callback is not None:
-            callback(k, x, rnorm)
+        if cb is not None:
+            cb(event.with_x(x))
     return x

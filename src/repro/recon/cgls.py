@@ -20,6 +20,7 @@ from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
 from repro.obs import perf as obs_perf
 from repro.obs.trace import span
+from repro.recon.events import NORMAL_RESIDUAL, IterationEvent, as_event_callback
 from repro.recon.linops import ProjectionOperator
 from repro.resilience.guards import check as guard_check
 from repro.resilience.watchdog import resolve_watchdog
@@ -49,7 +50,11 @@ def cgls_reconstruct(
         ``min ||A x - y||^2 + lambda ||x||^2`` (regularised CGLS, the
         standard stabiliser for noisy/limited-angle data).
     callback : callable, optional
-        ``callback(k, x, normal_residual_norm)`` per iteration.
+        Per-iteration hook: the legacy ``callback(k, x,
+        normal_residual_norm)`` form, or an event consumer taking one
+        :class:`~repro.recon.events.IterationEvent` whose ``meaning`` is
+        ``"normal_residual"`` (CGLS drives on ``||A^T r||``; the event
+        carries the plain ``||r||`` too).
     watchdog : bool or ResidualWatchdog, optional
         Divergence guard.  CGLS has no relaxation to back off; a restart
         instead re-initialises the whole CG recurrence (``r``, ``s``,
@@ -83,6 +88,7 @@ def cgls_reconstruct(
 
     wd = resolve_watchdog(watchdog, solver="cgls")
     x_init = x.copy() if wd is not None else None
+    cb = as_event_callback(callback)
 
     residual_gauge = obs_metrics.gauge(
         "cgls.residual", "last CGLS normal-equation residual norm"
@@ -110,7 +116,12 @@ def cgls_reconstruct(
             s = op.adjoint(r.astype(op.dtype)).astype(np.float64) - damping * x
             gamma_new = np.einsum("ij,ij->j", s, s)
             rnorm = float(np.sqrt(gamma_new[active].sum()))
-            if wd is not None and wd.observe(k, rnorm, x) == "restart":
+            event = IterationEvent(
+                k=k, x=x, residual_norm=float(np.linalg.norm(r)),
+                normal_residual_norm=rnorm, meaning=NORMAL_RESIDUAL,
+                solver="cgls",
+            )
+            if wd is not None and wd.observe_event(event) == "restart":
                 x = np.array(
                     wd.best_x if wd.best_x is not None else x_init, copy=True
                 )
@@ -121,13 +132,13 @@ def cgls_reconstruct(
             it_span.set(residual=rnorm)
         residual_gauge.set(rnorm)
         iter_counter.inc()
-        meter.observe(
-            k, rnorm,
+        meter.observe_event(
+            event,
             seconds=obs_perf.clock() - it_t0 if obs_perf.active else None,
         )
-        if callback is not None:
+        if cb is not None:
             xk = x.astype(op.dtype)
-            callback(k, xk[:, 0] if was_1d else xk, rnorm)
+            cb(event.with_x(xk[:, 0] if was_1d else xk))
         beta = np.zeros(k_cols)
         np.divide(gamma_new, gamma, out=beta, where=active & (gamma > 0))
         p = s + beta[None, :] * p

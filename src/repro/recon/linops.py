@@ -28,6 +28,7 @@ class ProjectionOperator:
     def __init__(self, fmt: SpMVFormat):
         self.fmt = fmt
         self._adj_fallback: SpMVFormat | None = None
+        self._csr = None
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -116,6 +117,24 @@ class ProjectionOperator:
         rows, cols, vals = self.fmt.to_coo_triplets()
         m, n = self.shape
         return CSRMatrix.from_coo((n, m), cols, rows, vals, dtype=self.dtype)
+
+    def to_csr(self):
+        """The operator's matrix as a :class:`CSRMatrix` (memoised).
+
+        Row-sliced solvers (OS-SART) need CSR access regardless of the
+        format the operator was built with; the conversion runs once per
+        operator via the O(nnz) COO-triplet hook.
+        """
+        from repro.sparse.csr import CSRMatrix
+
+        if isinstance(self.fmt, CSRMatrix):
+            return self.fmt
+        if self._csr is None:
+            rows, cols, vals = self.fmt.to_coo_triplets()
+            self._csr = CSRMatrix.from_coo(
+                self.shape, rows, cols, vals, dtype=self.dtype
+            )
+        return self._csr
 
     # ------------------------------------------------------------------ #
     # derived quantities the solvers need

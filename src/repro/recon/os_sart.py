@@ -20,6 +20,7 @@ from repro.geometry.parallel_beam import ParallelBeamGeometry
 from repro.obs import metrics as obs_metrics
 from repro.obs import perf as obs_perf
 from repro.obs.trace import span
+from repro.recon.events import IterationEvent, as_event_callback
 from repro.resilience.guards import check as guard_check
 from repro.resilience.watchdog import resolve_watchdog
 from repro.sparse.csr import CSRMatrix
@@ -100,6 +101,7 @@ def os_sart_reconstruct(
 
     wd = resolve_watchdog(watchdog, solver="os_sart", relax=relax)
     x_init = x.copy() if wd is not None else None
+    cb = as_event_callback(callback)
 
     iter_counter = obs_metrics.counter("os_sart.iterations", "OS-SART passes run")
     meter = obs_perf.ConvergenceMeter(
@@ -120,9 +122,10 @@ def os_sart_reconstruct(
                 x += relax * inv_c[:, None] * back
                 if nonneg:
                     np.maximum(x, 0, out=x)
-            if wd is not None and wd.observe(
-                it, float(np.sqrt(resid_sq)), x_pass
-            ) == "restart":
+            if wd is not None and wd.observe_event(IterationEvent(
+                k=it, x=x_pass, residual_norm=float(np.sqrt(resid_sq)),
+                normal_residual_norm=None, solver="os_sart",
+            )) == "restart":
                 # discard the pass, resume from the best iterate with
                 # the backed-off relaxation
                 x = np.array(
@@ -136,11 +139,14 @@ def os_sart_reconstruct(
             it, float(np.sqrt(resid_sq)),
             seconds=obs_perf.clock() - it_t0 if obs_perf.active else None,
         )
-        if callback is not None:
+        if cb is not None:
             full_resid = y.astype(np.float64) - csr.spmm(x.astype(csr.dtype)).astype(np.float64)
             rnorm = float(np.linalg.norm(full_resid))
             obs_metrics.gauge("os_sart.residual", "last OS-SART residual norm").set(rnorm)
             xk = x.astype(csr.dtype)
-            callback(it, xk[:, 0] if was_1d else xk, rnorm)
+            cb(IterationEvent(
+                k=it, x=xk[:, 0] if was_1d else xk, residual_norm=rnorm,
+                normal_residual_norm=None, solver="os_sart",
+            ))
     out = x.astype(csr.dtype)
     return out[:, 0] if was_1d else out

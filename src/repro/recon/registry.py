@@ -1,0 +1,354 @@
+"""Unified solver registry: one schema-checked entry point per solver.
+
+The four reconstruction entry points grew up separately and diverged:
+``sirt_reconstruct(op, y, relax=...)``, ``cgls_reconstruct(op, y,
+damping=...)``, ``art_reconstruct(op, y, relax=...)`` and
+``os_sart_reconstruct(csr, geom, y, num_subsets=...)`` each accept a
+different parameter set, and nothing rejected a parameter the chosen
+solver silently ignores.  This module puts them behind one registry of
+:class:`SolverSpec` objects carrying
+
+* a **parameter schema** — name, type, default, bounds — used to
+  validate caller parameters *by name* (unknown or out-of-range
+  parameters raise :class:`~repro.errors.ValidationError` messages that
+  name the solver and its accepted parameters);
+* **capabilities** — ``iterative``, ``batch`` (accepts an (m, k)
+  sinogram stack), ``relax``, ``damping``, ``needs_geom`` — so generic
+  callers (the :func:`repro.api.reconstruct` facade, the CLI, the
+  serving layer) can branch on declared facts instead of solver names;
+* a **batch guard** — whether a *specific* parameterisation may be
+  coalesced into a shared SpMM batch without changing any column's
+  bits (e.g. SIRT's ``rtol`` couples columns through the stacked norm,
+  so ``rtol > 0`` jobs must run solo).
+
+The legacy functions remain importable and unchanged; the registry
+runners delegate to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Param",
+    "SolverSpec",
+    "SOLVERS",
+    "get_solver",
+    "available_solvers",
+]
+
+
+_REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class Param:
+    """One solver parameter: type, default and bounds.
+
+    ``low``/``high`` bound numeric parameters; ``low_open``/``high_open``
+    make the corresponding bound exclusive.  ``choices`` restricts string
+    parameters.  A default of ``None`` means "optional, solver decides".
+    """
+
+    name: str
+    kind: type
+    default: Any = None
+    low: float | None = None
+    high: float | None = None
+    low_open: bool = False
+    high_open: bool = False
+    choices: tuple[str, ...] | None = None
+    doc: str = ""
+
+    def coerce(self, value, solver: str):
+        """Validate and coerce *value*; raises :class:`ValidationError`."""
+        where = f"solver {solver!r}: parameter {self.name!r}"
+        if self.kind is bool:
+            if isinstance(value, (bool, np.bool_)):
+                return bool(value)
+            raise ValidationError(f"{where} must be a bool, got {value!r}")
+        if self.kind is int:
+            # bool is an int subclass; reject it explicitly
+            if isinstance(value, bool) or not isinstance(
+                value, (int, np.integer)
+            ):
+                raise ValidationError(f"{where} must be an int, got {value!r}")
+            value = int(value)
+        elif self.kind is float:
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float, np.integer, np.floating)
+            ):
+                raise ValidationError(f"{where} must be a number, got {value!r}")
+            value = float(value)
+        elif self.kind is str:
+            if not isinstance(value, str):
+                raise ValidationError(f"{where} must be a string, got {value!r}")
+            if self.choices and value not in self.choices:
+                raise ValidationError(
+                    f"{where} must be one of {sorted(self.choices)}, got {value!r}"
+                )
+            return value
+        if self.low is not None or self.high is not None:
+            lo_ok = self.low is None or (
+                value > self.low if self.low_open else value >= self.low
+            )
+            hi_ok = self.high is None or (
+                value < self.high if self.high_open else value <= self.high
+            )
+            if not (lo_ok and hi_ok):
+                lo = "(" if self.low_open else "["
+                hi = ")" if self.high_open else "]"
+                lo_v = "-inf" if self.low is None else f"{self.low:g}"
+                hi_v = "inf" if self.high is None else f"{self.high:g}"
+                raise ValidationError(
+                    f"{where} must be in {lo}{lo_v}, {hi_v}{hi}, got {value!r}"
+                )
+        return value
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registered solver: schema, capabilities and a uniform runner.
+
+    ``run(op, sinogram, *, geom=None, x0=None, callback=None,
+    watchdog=None, **params)`` delegates to the legacy function with the
+    solver's own calling convention (OS-SART extracts a CSR matrix from
+    the operator, FBP passes the geometry positionally).
+    """
+
+    name: str
+    doc: str
+    runner: Callable[..., np.ndarray]
+    params: tuple[Param, ...] = ()
+    capabilities: frozenset = field(default_factory=frozenset)
+    #: Returns a reason string when the given (validated) parameters
+    #: prevent bitwise-safe batch coalescing, else None.
+    batch_guard: Callable[[dict], str | None] | None = None
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def supports(self, capability: str) -> bool:
+        return capability in self.capabilities
+
+    def defaults(self) -> dict:
+        """Schema defaults (``None`` entries omitted)."""
+        return {
+            p.name: p.default
+            for p in self.params
+            if p.default is not None and p.default is not _REQUIRED
+        }
+
+    def validate_params(self, params: dict, *, apply_defaults: bool = False) -> dict:
+        """Coerce *params* against the schema.
+
+        Unknown names raise a :class:`ValidationError` naming this
+        solver and every accepted parameter — the fix for solver-
+        inapplicable flags being silently ignored.  With
+        ``apply_defaults`` the returned dict also carries every schema
+        default, so two callers passing equivalent parameterisations
+        canonicalise to the same dict (the serving layer batches on it).
+        """
+        by_name = {p.name: p for p in self.params}
+        unknown = sorted(set(params) - set(by_name))
+        if unknown:
+            accepted = ", ".join(self.param_names()) or "(none)"
+            raise ValidationError(
+                f"solver {self.name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}; accepted parameters: {accepted}"
+            )
+        out = dict(self.defaults()) if apply_defaults else {}
+        for name, value in params.items():
+            out[name] = by_name[name].coerce(value, self.name)
+        return out
+
+    def coalescible(self, params: dict) -> str | None:
+        """Why these parameters cannot join a shared batch (None = can).
+
+        Solvers without the ``batch`` capability never coalesce; beyond
+        that the spec's own guard may veto specific parameterisations.
+        """
+        if "batch" not in self.capabilities:
+            return f"solver {self.name!r} does not support batched sinograms"
+        if self.batch_guard is not None:
+            return self.batch_guard(params)
+        return None
+
+
+# --------------------------------------------------------------------- #
+# runners: adapt each legacy entry point to the uniform signature
+
+
+def _run_sirt(op, sinogram, *, geom=None, x0=None, callback=None,
+              watchdog=None, **params):
+    from repro.recon.sirt import sirt_reconstruct
+
+    return sirt_reconstruct(
+        op, sinogram, x0=x0, callback=callback, watchdog=watchdog, **params
+    )
+
+
+def _run_cgls(op, sinogram, *, geom=None, x0=None, callback=None,
+              watchdog=None, **params):
+    from repro.recon.cgls import cgls_reconstruct
+
+    return cgls_reconstruct(
+        op, sinogram, x0=x0, callback=callback, watchdog=watchdog, **params
+    )
+
+
+def _run_art(op, sinogram, *, geom=None, x0=None, callback=None,
+             watchdog=None, **params):
+    from repro.recon.art import art_reconstruct
+
+    return art_reconstruct(
+        op, sinogram, x0=x0, callback=callback, watchdog=watchdog, **params
+    )
+
+
+def _run_os_sart(op, sinogram, *, geom=None, x0=None, callback=None,
+                 watchdog=None, **params):
+    from repro.recon.os_sart import os_sart_reconstruct
+
+    if geom is None:
+        raise ValidationError(
+            "solver 'os-sart' requires geom= (its ordered subsets "
+            "partition the view axis)"
+        )
+    return os_sart_reconstruct(
+        op.to_csr(), geom, sinogram,
+        x0=x0, callback=callback, watchdog=watchdog, **params,
+    )
+
+
+def _run_fbp(op, sinogram, *, geom=None, x0=None, callback=None,
+             watchdog=None, **params):
+    from repro.recon.fbp import fbp_reconstruct
+
+    if geom is None:
+        raise ValidationError(
+            "solver 'fbp' requires geom= (the ramp filter needs the "
+            "angular sampling)"
+        )
+    return fbp_reconstruct(op, sinogram, geom, **params)
+
+
+def _sirt_batch_guard(params: dict) -> str | None:
+    if params.get("rtol", 0.0):
+        return ("sirt with rtol > 0 couples batch columns through the "
+                "stacked residual norm")
+    return None
+
+
+_ITERATIONS = Param("iterations", int, 50, low=1,
+                    doc="iteration budget (full sweeps)")
+_NONNEG = Param("nonneg", bool, True,
+                doc="project onto the nonnegative orthant each iteration")
+
+
+SOLVERS: dict[str, SolverSpec] = {
+    spec.name: spec
+    for spec in (
+        SolverSpec(
+            name="sirt",
+            doc="Simultaneous Iterative Reconstruction Technique",
+            runner=_run_sirt,
+            params=(
+                _ITERATIONS,
+                Param("relax", float, 1.0, low=0.0, high=4.0, low_open=True,
+                      doc="relaxation factor (values > 2 need a watchdog "
+                          "to recover)"),
+                _NONNEG,
+                Param("rtol", float, 0.0, low=0.0,
+                      doc="stop once ||resid||/||y|| falls below this "
+                          "(0 disables)"),
+            ),
+            capabilities=frozenset({"iterative", "batch", "relax"}),
+            batch_guard=_sirt_batch_guard,
+        ),
+        SolverSpec(
+            name="cgls",
+            doc="Conjugate gradients on the normal equations",
+            runner=_run_cgls,
+            params=(
+                Param("iterations", int, 30, low=1,
+                      doc="iteration budget"),
+                Param("rtol", float, 1e-8, low=0.0,
+                      doc="per-column stop on ||A^T r||/||A^T y||"),
+                Param("damping", float, 0.0, low=0.0,
+                      doc="Tikhonov parameter lambda >= 0"),
+            ),
+            capabilities=frozenset({"iterative", "batch", "damping"}),
+            # per-column gamma/alpha/beta and the active-column freeze
+            # keep every column bitwise equal to its solo run, rtol
+            # included — no guard needed
+        ),
+        SolverSpec(
+            name="art",
+            doc="Blocked ART (SART weighting, row-action flavour)",
+            runner=_run_art,
+            params=(
+                Param("iterations", int, 10, low=1, doc="full sweeps"),
+                Param("relax", float, 0.5, low=0.0, high=2.0,
+                      low_open=True, high_open=True,
+                      doc="relaxation factor in (0, 2)"),
+                _NONNEG,
+            ),
+            capabilities=frozenset({"iterative", "relax"}),
+        ),
+        SolverSpec(
+            name="os-sart",
+            doc="Ordered-subsets SART",
+            runner=_run_os_sart,
+            params=(
+                Param("iterations", int, 5, low=1,
+                      doc="full passes over all subsets"),
+                Param("num_subsets", int, 8, low=1,
+                      doc="interleaved view subsets per pass"),
+                Param("relax", float, 1.0, low=0.0, high=4.0, low_open=True,
+                      doc="relaxation factor"),
+                _NONNEG,
+            ),
+            capabilities=frozenset(
+                {"iterative", "batch", "relax", "needs_geom"}
+            ),
+        ),
+        SolverSpec(
+            name="fbp",
+            doc="Filtered back-projection through the matrix adjoint",
+            runner=_run_fbp,
+            params=(
+                Param("window", str, "ramlak",
+                      choices=("ramlak", "hann"),
+                      doc="ramp-filter apodisation window"),
+                _NONNEG,
+            ),
+            capabilities=frozenset({"needs_geom"}),
+        ),
+    )
+}
+
+
+def available_solvers() -> list[str]:
+    """Registered solver names, sorted."""
+    return sorted(SOLVERS)
+
+
+def get_solver(name) -> SolverSpec:
+    """Look up a solver by name (``_``/``-`` are interchangeable)."""
+    if not isinstance(name, str):
+        raise ValidationError(
+            f"solver must be a string, got {type(name).__name__}"
+        )
+    key = name.strip().lower().replace("_", "-")
+    try:
+        return SOLVERS[key]
+    except KeyError:
+        raise ValidationError(
+            f"unknown solver {name!r}; options: {available_solvers()}"
+        ) from None

@@ -25,6 +25,7 @@ from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
 from repro.obs import perf as obs_perf
 from repro.obs.trace import span
+from repro.recon.events import IterationEvent, as_event_callback
 from repro.recon.linops import ProjectionOperator
 from repro.resilience.guards import check as guard_check
 from repro.resilience.watchdog import resolve_watchdog
@@ -51,7 +52,10 @@ def sirt_reconstruct(
         Stop once ``||resid|| / ||y||`` falls below this (0 disables).
         For a sinogram stack both norms are Frobenius norms of the stack.
     callback : callable, optional
-        ``callback(k, x, residual_norm)`` per iteration.
+        Per-iteration hook.  Either the legacy ``callback(k, x,
+        residual_norm)`` form or an event consumer taking one
+        :class:`~repro.recon.events.IterationEvent` (see
+        :func:`~repro.recon.events.as_event_callback`).
     watchdog : bool or ResidualWatchdog, optional
         Divergence guard (:mod:`repro.resilience.watchdog`): ``True``
         for the defaults, or a configured instance.  On detection the
@@ -85,6 +89,7 @@ def sirt_reconstruct(
 
     wd = resolve_watchdog(watchdog, solver="sirt", relax=relax)
     x_init = x.copy() if wd is not None else None
+    cb = as_event_callback(callback)
 
     residual_gauge = obs_metrics.gauge("sirt.residual", "last SIRT residual norm")
     iter_counter = obs_metrics.counter("sirt.iterations", "SIRT iterations run")
@@ -94,7 +99,11 @@ def sirt_reconstruct(
         with span("sirt.iter", k=k, batch=k_cols) as it_span:
             resid = (y - op.forward(x)).astype(np.float64)
             rnorm = float(np.linalg.norm(resid))
-            if wd is not None and wd.observe(k, rnorm, x) == "restart":
+            event = IterationEvent(
+                k=k, x=x, residual_norm=rnorm, normal_residual_norm=None,
+                solver="sirt",
+            )
+            if wd is not None and wd.observe_event(event) == "restart":
                 # discard this sweep: resume from the best iterate with
                 # the backed-off relaxation the watchdog just set
                 x = np.asarray(
@@ -111,12 +120,12 @@ def sirt_reconstruct(
             it_span.set(residual=rnorm)
         residual_gauge.set(rnorm)
         iter_counter.inc()
-        meter.observe(
-            k, rnorm,
+        meter.observe_event(
+            event,
             seconds=obs_perf.clock() - it_t0 if obs_perf.active else None,
         )
-        if callback is not None:
-            callback(k, x[:, 0] if was_1d else x, rnorm)
+        if cb is not None:
+            cb(event.with_x(x[:, 0] if was_1d else x))
         if rtol > 0 and rnorm / y_norm < rtol:
             break
     return x[:, 0] if was_1d else x

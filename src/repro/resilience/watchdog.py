@@ -118,6 +118,16 @@ class ResidualWatchdog:
             return "ok"
         return self._diverged(iteration, residual)
 
+    def observe_event(self, event) -> str:
+        """Typed-event form of :meth:`observe`.
+
+        Consumes an :class:`~repro.recon.events.IterationEvent`, watching
+        the event's *driving* norm (``event.norm``) so the same watchdog
+        works on residual-driven (SIRT/ART/OS-SART) and normal-residual-
+        driven (CGLS) solvers without knowing which it is attached to.
+        """
+        return self.observe(event.k, event.norm, event.x)
+
     def _diverged(self, iteration: int, residual: float) -> str:
         from repro.obs import metrics as obs_metrics
 

@@ -1,0 +1,555 @@
+"""The batch-aggregating reconstruction service.
+
+:class:`ReconstructionService` is the pure-asyncio core: per-tenant FIFO
+queues behind admission control, a round-robin scheduler that coalesces
+key-compatible jobs into SpMM batches, and a bounded worker pool running
+solves in threads (NumPy/C kernels release the GIL; the event loop stays
+responsive).  :class:`ServiceRunner` wraps it for synchronous callers —
+it owns a dedicated event-loop thread and bridges via
+``run_coroutine_threadsafe`` — and is what the HTTP front-end
+(:mod:`repro.serve.http`), the CLI and the tests use.
+
+Scheduling walk-through
+-----------------------
+1. ``submit`` validates the payload (:func:`~repro.serve.jobs.parse_job`),
+   applies admission control (tenant queue depth), enqueues and notifies.
+2. The scheduler picks the next job **round-robin across tenants** so a
+   saturating tenant cannot starve the others, then — if the job's solver
+   is batch-capable and its parameters don't veto coalescing — waits one
+   ``batch_window_s`` and drains up to ``max_batch - 1`` queued jobs with
+   the **same batch key** (operator hash + solver + canonical params)
+   from any tenant into the batch.
+3. A worker slot is acquired (``workers`` concurrent batches at most) and
+   the batch runs in a thread: one operator (served by the persistent
+   cache), the k sinograms stacked to an (m, k) array, one call to
+   :func:`repro.api.reconstruct`.  Column-separable solver recurrences
+   make every column bitwise-identical to its solo run.
+4. The solver's :class:`~repro.recon.events.IterationEvent` stream feeds
+   each job's progress log and enforces mid-run deadlines; a batch whose
+   jobs have all expired aborts early.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError, ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    QueueFullError,
+    new_job,
+    parse_job,
+)
+
+__all__ = ["ServeConfig", "ReconstructionService", "ServiceRunner"]
+
+#: Buckets sized for batch widths rather than durations.
+_WIDTH_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0)
+
+
+class _BatchAbort(Exception):
+    """Internal: raised by the progress callback when no job is left alive."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of the reconstruction service.
+
+    Attributes
+    ----------
+    workers : int
+        Concurrent solver batches (worker-pool bound).
+    max_queue_depth : int
+        Queued jobs allowed **per tenant**; submissions beyond raise
+        :class:`~repro.serve.jobs.QueueFullError` (HTTP 429).
+    max_batch : int
+        Most jobs coalesced into one SpMM batch.
+    batch_window_s : float
+        How long the scheduler holds a coalescible job open for
+        late-arriving key-mates (skipped when a full batch is already
+        queued, or when 0).
+    default_deadline_s : float or None
+        Deadline applied to jobs that don't carry their own.
+    cache : bool
+        Consult the persistent operator cache (leave on; it is what
+        makes operator reuse across batches and processes free).
+    max_jobs_history : int
+        Finished jobs retained for ``GET /v1/jobs/<id>`` before the
+        oldest are dropped.
+    """
+
+    workers: int = 2
+    max_queue_depth: int = 16
+    max_batch: int = 8
+    batch_window_s: float = 0.01
+    default_deadline_s: float | None = None
+    cache: bool = True
+    max_jobs_history: int = 4096
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValidationError("workers must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValidationError("max_queue_depth must be >= 1")
+        if self.max_batch < 1:
+            raise ValidationError("max_batch must be >= 1")
+        if self.batch_window_s < 0:
+            raise ValidationError("batch_window_s must be >= 0")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValidationError("default_deadline_s must be > 0")
+        if self.max_jobs_history < 1:
+            raise ValidationError("max_jobs_history must be >= 1")
+
+
+class ReconstructionService:
+    """Asyncio core: queues, scheduler, coalescer, worker pool.
+
+    Use from inside a running event loop (``await service.start()``), or
+    through :class:`ServiceRunner` from synchronous code.
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self._jobs: dict[str, Job] = {}
+        self._queues: "OrderedDict[str, deque]" = OrderedDict()
+        self._rr: deque = deque()               # tenant rotation order
+        self._cond: asyncio.Condition | None = None
+        self._sem: asyncio.Semaphore | None = None
+        self._scheduler: asyncio.Task | None = None
+        self._inflight: set = set()
+        self._batch_ids = itertools.count(1)
+        self._stopping = False
+
+        m = obs_metrics
+        self._m_submitted = m.counter("serve.jobs.submitted", "jobs admitted")
+        self._m_rejected = m.counter("serve.jobs.rejected", "jobs rejected by admission control")
+        self._m_completed = m.counter("serve.jobs.completed", "jobs finished successfully")
+        self._m_failed = m.counter("serve.jobs.failed", "jobs finished in error")
+        self._m_cancelled = m.counter("serve.jobs.cancelled", "jobs cancelled (deadline or shutdown)")
+        self._m_deadline = m.counter("serve.jobs.deadline_expired", "jobs cancelled by their deadline")
+        self._m_batches = m.counter("serve.batches", "solver batches dispatched")
+        self._m_coalesce_hits = m.counter(
+            "serve.coalesce.hits", "jobs that rode a shared batch beyond the seed"
+        )
+        self._m_batch_width = m.histogram(
+            "serve.batch_width", "jobs per dispatched batch", buckets=_WIDTH_BUCKETS
+        )
+        self._m_queue_depth = m.gauge("serve.queue_depth", "jobs queued across all tenants")
+        self._m_inflight = m.gauge("serve.inflight_batches", "batches currently solving")
+        self._m_queue_wait = m.histogram("serve.queue_wait_seconds", "submit-to-start wait")
+        self._m_latency = m.histogram("serve.latency_seconds", "submit-to-done job latency")
+        self._m_solve = m.histogram("serve.solve_seconds", "wall time of one solver batch")
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    async def start(self, *, run_scheduler: bool = True) -> None:
+        """Create loop-bound primitives and launch the scheduler.
+
+        ``run_scheduler=False`` admits and queues jobs without ever
+        dispatching them — the deterministic mode the admission-control
+        tests use.
+        """
+        if self._scheduler is not None:
+            return
+        self._cond = asyncio.Condition()
+        self._sem = asyncio.Semaphore(self.config.workers)
+        self._stopping = False
+        if run_scheduler:
+            self._scheduler = asyncio.create_task(
+                self._schedule_loop(), name="repro-serve-scheduler"
+            )
+
+    async def stop(self) -> None:
+        """Cancel the scheduler, drain running batches, fail queued jobs."""
+        if self._cond is None:
+            return
+        self._stopping = True
+        if self._scheduler is not None:
+            self._scheduler.cancel()
+            try:
+                await self._scheduler
+            except asyncio.CancelledError:
+                pass
+            self._scheduler = None
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        async with self._cond:
+            for q in self._queues.values():
+                while q:
+                    job = q.popleft()
+                    job.stop_reason = "shutdown"
+                    job.finish(CANCELLED, error={
+                        "error": "service_stopped",
+                        "message": "service shut down before the job ran",
+                    })
+                    self._m_cancelled.inc()
+            self._gauge_depth()
+
+    # ------------------------------------------------------------------ #
+    # submission & lookup
+
+    async def submit(self, payload) -> Job:
+        """Validate, admit and enqueue one job; returns the queued Job.
+
+        Raises :class:`~repro.errors.ValidationError` on a bad payload
+        and :class:`~repro.serve.jobs.QueueFullError` when the tenant's
+        queue is at ``max_queue_depth``.
+        """
+        request = parse_job(
+            payload, default_deadline_s=self.config.default_deadline_s
+        )
+        async with self._cond:
+            if self._stopping:
+                raise ValidationError("service is shutting down; not accepting jobs")
+            q = self._queues.get(request.tenant)
+            if q is None:
+                q = self._queues[request.tenant] = deque()
+                self._rr.append(request.tenant)
+            if len(q) >= self.config.max_queue_depth:
+                self._m_rejected.inc()
+                raise QueueFullError(
+                    request.tenant, len(q), self.config.max_queue_depth
+                )
+            job = new_job(request)
+            self._jobs[job.id] = job
+            self._trim_history()
+            q.append(job)
+            self._m_submitted.inc()
+            self._gauge_depth()
+            self._cond.notify_all()
+        return job
+
+    def get_job(self, job_id: str) -> Job | None:
+        """Look up a job by id (safe from any thread: plain dict read)."""
+        return self._jobs.get(job_id)
+
+    def stats(self) -> dict:
+        """Queue/lifecycle counts for ``/healthz`` and the CLI."""
+        states: dict[str, int] = {}
+        for job in list(self._jobs.values()):
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "tenants": {t: len(q) for t, q in self._queues.items()},
+            "queued_total": sum(len(q) for q in self._queues.values()),
+            "jobs": states,
+            "workers": self.config.workers,
+            "max_queue_depth": self.config.max_queue_depth,
+            "max_batch": self.config.max_batch,
+        }
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+
+    async def _schedule_loop(self) -> None:
+        cfg = self.config
+        while True:
+            async with self._cond:
+                while not any(self._queues.values()):
+                    await self._cond.wait()
+                seed = self._pop_next()
+                if seed is not None and seed.request.coalescible:
+                    ready = self._count_matching(seed)
+                else:
+                    ready = 0
+            if seed is None:
+                continue
+            want_mates = seed.request.coalescible and cfg.max_batch > 1
+            if (want_mates and cfg.batch_window_s > 0
+                    and ready < cfg.max_batch - 1):
+                # hold the seed open for late-arriving key-mates
+                await asyncio.sleep(cfg.batch_window_s)
+            batch = [seed]
+            if want_mates:
+                async with self._cond:
+                    batch.extend(self._take_matching(seed))
+            await self._sem.acquire()
+            task = asyncio.create_task(self._dispatch(batch))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    def _pop_next(self) -> Job | None:
+        """Next queued job, round-robin over tenants (hold ``_cond``)."""
+        now = time.monotonic()
+        for _ in range(len(self._rr)):
+            tenant = self._rr[0]
+            self._rr.rotate(-1)
+            q = self._queues.get(tenant)
+            while q:
+                job = q.popleft()
+                if job.expired(now):
+                    self._expire(job)
+                    continue
+                self._gauge_depth()
+                return job
+        self._gauge_depth()
+        return None
+
+    def _count_matching(self, seed: Job) -> int:
+        key = seed.request.batch_key
+        return sum(
+            1
+            for q in self._queues.values()
+            for job in q
+            if job.request.batch_key == key
+        )
+
+    def _take_matching(self, seed: Job) -> list:
+        """Drain queued jobs sharing *seed*'s batch key (hold ``_cond``)."""
+        mates: list = []
+        limit = self.config.max_batch - 1
+        key = seed.request.batch_key
+        now = time.monotonic()
+        for q in self._queues.values():
+            if not q or len(mates) >= limit:
+                continue
+            keep: deque = deque()
+            while q:
+                job = q.popleft()
+                if job.expired(now):
+                    self._expire(job)
+                elif (len(mates) < limit
+                        and job.request.coalescible
+                        and job.request.batch_key == key):
+                    mates.append(job)
+                else:
+                    keep.append(job)
+            q.extend(keep)
+        self._gauge_depth()
+        return mates
+
+    def _expire(self, job: Job) -> None:
+        job.stop_reason = "deadline"
+        job.finish(CANCELLED, error={
+            "error": "deadline_exceeded",
+            "message": f"deadline of {job.request.deadline_s}s expired "
+                       f"before the job finished",
+        })
+        self._m_cancelled.inc()
+        self._m_deadline.inc()
+
+    def _gauge_depth(self) -> None:
+        self._m_queue_depth.set(sum(len(q) for q in self._queues.values()))
+
+    # ------------------------------------------------------------------ #
+    # execution (worker threads)
+
+    async def _dispatch(self, batch: list) -> None:
+        try:
+            await asyncio.to_thread(self._execute_batch, batch)
+        except Exception as exc:  # defense: a worker bug must not kill the loop
+            err = {"error": type(exc).__name__, "message": str(exc)}
+            for job in batch:
+                if job.state not in TERMINAL_STATES:
+                    job.finish(FAILED, error=err)
+                    self._m_failed.inc()
+        finally:
+            self._sem.release()
+
+    def _execute_batch(self, batch: list) -> None:
+        from repro import api
+
+        now = time.monotonic()
+        live = []
+        for job in batch:
+            if job.expired(now):
+                self._expire(job)
+            else:
+                live.append(job)
+        if not live:
+            return
+
+        width = len(live)
+        batch_id = next(self._batch_ids)
+        t_start = time.time()
+        for job in live:
+            job.state = RUNNING
+            job.started_at = t_start
+            job.queue_wait_s = t_start - job.submitted_at
+            job.batch_id = batch_id
+            job.batch_width = width
+            job.coalesced = width > 1
+            self._m_queue_wait.observe(job.queue_wait_s)
+        self._m_batches.inc()
+        self._m_batch_width.observe(width)
+        if width > 1:
+            self._m_coalesce_hits.inc(width - 1)
+        self._m_inflight.inc()
+
+        from repro.recon.registry import get_solver
+
+        req = live[0].request
+        spec_iterative = get_solver(req.solver).supports("iterative")
+
+        def on_event(event):
+            rec = {
+                "k": event.k,
+                "residual": event.norm,
+                "meaning": event.meaning,
+                "t": time.time(),
+            }
+            tick = time.monotonic()
+            alive = 0
+            for job in live:
+                if job.state in TERMINAL_STATES:
+                    continue
+                if job.expired(tick):
+                    self._expire(job)
+                    continue
+                job.progress.append(rec)
+                job.iterations = event.k + 1
+                alive += 1
+            if alive == 0:
+                raise _BatchAbort()
+
+        on_event.accepts_events = True
+
+        try:
+            op = api.operator(
+                req.geom,
+                fmt=req.fmt,
+                projector=req.projector,
+                dtype=req.dtype,
+                cache=self.config.cache,
+            )
+            if req.coalescible:
+                # always a 2-D (m, k) stack — even k=1 — so a job's column
+                # is bitwise-identical regardless of who it batched with
+                y = np.stack([j.request.sinogram for j in live], axis=1)
+            else:
+                y = live[0].request.sinogram
+            res = api.reconstruct(
+                op,
+                y,
+                solver=req.solver,
+                geom=req.geom,
+                callback=on_event if spec_iterative else None,
+                **req.params,
+            )
+        except _BatchAbort:
+            pass  # every job already moved to a terminal state
+        except ReproError as exc:
+            err = {"error": type(exc).__name__, "message": str(exc)}
+            for job in live:
+                if job.state not in TERMINAL_STATES:
+                    job.finish(FAILED, error=err)
+                    self._m_failed.inc()
+        else:
+            image = res.image if res.image.ndim == 2 else res.image[:, None]
+            wall = time.time() - t_start
+            self._m_solve.observe(wall)
+            for idx, job in enumerate(live):
+                if job.state in TERMINAL_STATES:
+                    continue  # expired mid-run; discard its column
+                job.result = np.ascontiguousarray(image[:, idx])
+                job.iterations = res.iterations
+                job.stop_reason = res.stop_reason
+                job.finish(DONE)
+                self._m_completed.inc()
+                self._m_latency.observe(job.finished_at - job.submitted_at)
+        finally:
+            self._m_inflight.inc(-1)
+
+    def _trim_history(self) -> None:
+        """Drop the oldest finished jobs beyond ``max_jobs_history``."""
+        excess = len(self._jobs) - self.config.max_jobs_history
+        if excess <= 0:
+            return
+        for jid in [
+            jid for jid, j in self._jobs.items() if j.state in TERMINAL_STATES
+        ][:excess]:
+            del self._jobs[jid]
+
+
+class ServiceRunner:
+    """Thread-safe front door: owns an event-loop thread for the service.
+
+    Synchronous callers (HTTP handler threads, the CLI, tests) talk to
+    the asyncio service through ``run_coroutine_threadsafe``::
+
+        with ServiceRunner(ServeConfig(workers=4)) as runner:
+            job = runner.submit(payload)           # may raise 400/429 errors
+            job = runner.wait(job.id, timeout=60)
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.service = ReconstructionService(config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def config(self) -> ServeConfig:
+        return self.service.config
+
+    def start(self, *, run_scheduler: bool = True) -> "ServiceRunner":
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self._loop)
+            self._loop.call_soon(ready.set)
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        ready.wait(timeout=10.0)
+        self._call(self.service.start(run_scheduler=run_scheduler))
+        return self
+
+    def _call(self, coro, timeout: float = 60.0):
+        if self._loop is None:
+            raise RuntimeError("ServiceRunner is not started")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    def submit(self, payload) -> Job:
+        """Thread-safe :meth:`ReconstructionService.submit`."""
+        return self._call(self.service.submit(payload))
+
+    def get_job(self, job_id: str) -> Job | None:
+        return self.service.get_job(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job reaches a terminal state (or timeout)."""
+        job = self.service.get_job(job_id)
+        if job is None:
+            raise ValidationError(f"unknown job id {job_id!r}")
+        job.done.wait(timeout)
+        return job
+
+    def stats(self) -> dict:
+        return self.service.stats()
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        try:
+            self._call(self.service.stop(), timeout=120.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._loop.close()
+            self._loop = None
+            self._thread = None
+
+    def __enter__(self) -> "ServiceRunner":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
