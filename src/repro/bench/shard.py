@@ -1,0 +1,196 @@
+"""Sharded-operator scaling benchmark (``repro bench shard``).
+
+Sweeps the worker-process count of a :class:`repro.dist.sharding.
+ShardedOperator` over a *fixed* shard partition and times the forward
+SpMV and batched SpMM sweeps.  The partition is pinned (not derived
+from the worker count) so every level computes the identical
+floating-point result — each record carries an ``identical`` flag
+checked bitwise against the in-process serial level, which is the
+distributed layer's core determinism contract.
+
+Runs on the NumPy backend by construction: the compiled kernels already
+use OpenMP threads inside one address space, so cross-process scaling
+is only a *separable* signal on the interpreter-bound backend (and the
+trajectory's ``shard/*`` family stays comparable on hosts without a C
+toolchain).
+
+``repro bench trajectory`` folds a quick sweep in as the
+``shard/<fmt>/<size>/w<k>`` case family in ``BENCH_trajectory.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.tables import Table
+
+__all__ = ["ShardBenchRecord", "run_shard_bench", "render", "shard_cases"]
+
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
+SPMM_BATCH = 8
+
+
+@dataclass(frozen=True)
+class ShardBenchRecord:
+    """One (format, worker-count) level of the sweep."""
+
+    format_name: str
+    size: int
+    workers: int
+    num_shards: int
+    mode: str                   # "serial" | "distributed" | "degraded"
+    spmv_seconds: float         # best-of forward SpMV
+    spmv_noise: float           # std / mean across repeats
+    spmm_seconds: float         # best-of forward SpMM (SPMM_BATCH columns)
+    spmm_noise: float
+    spawn_seconds: float        # pool start-up (first dispatch) cost
+    nnz: int
+    identical: bool             # bitwise equal to the workers=1 level
+
+
+def run_shard_bench(
+    *,
+    size: int = 64,
+    format_names=("csr",),
+    worker_counts=DEFAULT_WORKER_COUNTS,
+    shards: int | None = None,
+    dtype=np.float32,
+    iterations: int = 10,
+    quick: bool = False,
+) -> list[ShardBenchRecord]:
+    """Sweep shard-worker counts over a pinned partition.
+
+    The shard count defaults to ``max(4, max(worker_counts))`` and is
+    passed explicitly to every level, so the reduction order — hence
+    the bitwise result — is one and the same across the sweep.  The
+    backend is forced to ``numpy`` for the duration (workers inherit
+    it through their init payload) and restored afterwards.
+    """
+    from repro import api, config
+    from repro.geometry.parallel_beam import ParallelBeamGeometry
+    from repro.utils.timing import time_stats
+
+    if quick:
+        size = min(size, 32)
+        iterations = min(iterations, 5)
+
+    num_shards = shards or max(4, max(worker_counts))
+    geom = ParallelBeamGeometry.for_image(size)
+    records: list[ShardBenchRecord] = []
+    saved_backend = config.runtime.backend
+    config.runtime.backend = "numpy"
+    try:
+        for name in format_names:
+            n = geom.shape[1]
+            rng = np.random.default_rng(0)
+            x = np.linspace(0.5, 1.5, n).astype(dtype)
+            X = np.ascontiguousarray(
+                rng.random((n, SPMM_BATCH)), dtype=dtype
+            )
+            baseline_spmv = baseline_spmm = None
+            for workers in worker_counts:
+                op = api.operator(
+                    geom, fmt=name, dtype=dtype,
+                    shard_workers=workers, shards=num_shards,
+                )
+                try:
+                    t0 = time.perf_counter()
+                    y = op.forward(x)           # first dispatch spawns pool
+                    spawn = time.perf_counter() - t0
+                    Y = op.forward(X)
+                    if baseline_spmv is None:
+                        baseline_spmv, baseline_spmm = y, Y
+                        identical = True
+                    else:
+                        identical = (
+                            np.array_equal(baseline_spmv, y)
+                            and np.array_equal(baseline_spmm, Y)
+                        )
+                    sv = time_stats(lambda: op.forward(x),
+                                    iterations=iterations, max_seconds=2.0)
+                    sm = time_stats(lambda: op.forward(X),
+                                    iterations=iterations, max_seconds=2.0)
+                    top = op.topology()
+                    records.append(ShardBenchRecord(
+                        format_name=name,
+                        size=size,
+                        workers=workers,
+                        num_shards=num_shards,
+                        mode=top["mode"],
+                        spmv_seconds=sv.min,
+                        spmv_noise=sv.std / sv.mean if sv.mean else 0.0,
+                        spmm_seconds=sm.min,
+                        spmm_noise=sm.std / sm.mean if sm.mean else 0.0,
+                        spawn_seconds=spawn,
+                        nnz=sum(s["nnz"] or 0 for s in top["shards"]),
+                        identical=identical,
+                    ))
+                finally:
+                    op.close()
+    finally:
+        config.runtime.backend = saved_backend
+    return records
+
+
+def render(records: list, *, title: str = "") -> str:
+    """Human table of a sweep, with speedup over the serial level."""
+    t = Table(
+        headers=["format", "workers", "mode", "spmv ms", "speedup",
+                 f"spmm(k={SPMM_BATCH}) ms", "speedup", "spawn s",
+                 "identical"],
+        title=title or "sharded operator scaling (numpy backend)",
+    )
+    serial = {r.format_name: r for r in records if r.workers == 1}
+    for r in records:
+        s = serial.get(r.format_name)
+        t.add_row(
+            r.format_name,
+            f"{r.workers} ({r.num_shards} shards)",
+            r.mode,
+            f"{r.spmv_seconds * 1e3:.3f}",
+            f"{s.spmv_seconds / r.spmv_seconds:.2f}x" if s else "-",
+            f"{r.spmm_seconds * 1e3:.3f}",
+            f"{s.spmm_seconds / r.spmm_seconds:.2f}x" if s else "-",
+            f"{r.spawn_seconds:.2f}",
+            "yes" if r.identical else "NO",
+        )
+    return t.render()
+
+
+def shard_cases(records: list, *, stream_gbs: float | None = None) -> list[dict]:
+    """Trajectory case dicts (the ``shard/<fmt>/<size>/w<k>`` family).
+
+    ``seconds`` is the batched SpMM time — the shape the serving layer
+    actually dispatches — with the SpMV time riding along as an extra
+    key.  Pool dispatch adds IPC jitter, so a noise floor keeps the
+    compare slack from flagging scheduler hiccups.
+    """
+    return [
+        {
+            "case": f"shard/{r.format_name}/{r.size}/w{r.workers}",
+            "kind": "shard",
+            "format": r.format_name,
+            "size": r.size,
+            "batch": SPMM_BATCH,
+            "seconds": r.spmm_seconds,
+            "mean_seconds": r.spmm_seconds,
+            "noise": max(0.15, r.spmm_noise),
+            "gflops": (
+                2.0 * r.nnz * SPMM_BATCH / r.spmm_seconds / 1e9
+                if r.spmm_seconds > 0 else None
+            ),
+            "achieved_gbs": None,
+            "r_em": None,
+            "nnz": r.nnz,
+            "workers": r.workers,
+            "num_shards": r.num_shards,
+            "mode": r.mode,
+            "spmv_seconds": r.spmv_seconds,
+            "spawn_seconds": r.spawn_seconds,
+            "identical": r.identical,
+        }
+        for r in records
+    ]

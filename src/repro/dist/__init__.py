@@ -1,0 +1,52 @@
+"""Multiprocess sharded operator execution (``repro.dist``).
+
+Scales the paper's view-range row partitioning (section IV-E) across
+*process* boundaries: :class:`~repro.dist.sharding.ShardedOperator`
+splits an operator into contiguous view-range shards — each its own
+content-addressed cache entry — and executes forward/adjoint over a
+persistent pool of spawned workers exchanging buffers through
+:class:`~repro.dist.transport.Transport` (shared memory today).
+
+Determinism contract: the *shard partition* (``REPRO_SHARDS``), not the
+worker count, fixes the floating-point reduction order, so
+``REPRO_SHARD_WORKERS`` ∈ {1, 2, 4, ...} all produce bitwise-identical
+results — including the in-process serial fallback the resilience
+layer degrades to after repeated worker deaths.
+
+Enable via ``repro.api.operator(..., shard_workers=4)`` or the
+``REPRO_SHARD_WORKERS`` environment knob; see ``docs/distributed.md``.
+"""
+
+from repro.dist.sharding import (
+    ShardContext,
+    ShardedOperator,
+    ShardExecutor,
+    ShardSpec,
+    materialize_shard,
+    plan_shards,
+    resolve_shards,
+    shard_geometry,
+)
+from repro.dist.transport import (
+    TRANSPORTS,
+    SharedMemoryTransport,
+    Transport,
+    fixed_order_sum,
+    get_transport,
+)
+
+__all__ = [
+    "ShardContext",
+    "ShardedOperator",
+    "ShardExecutor",
+    "ShardSpec",
+    "materialize_shard",
+    "plan_shards",
+    "resolve_shards",
+    "shard_geometry",
+    "Transport",
+    "SharedMemoryTransport",
+    "TRANSPORTS",
+    "fixed_order_sum",
+    "get_transport",
+]

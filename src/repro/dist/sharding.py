@@ -1,0 +1,678 @@
+"""View-range sharded operators with a deterministic reduction.
+
+The paper's multithreaded driver (section IV-E) row-partitions the
+operator with per-thread private ``y`` and a fixed-order merge; this
+module lifts the *same* partitioning across process boundaries, where
+the NumPy backend and the serving layer previously lost all parallelism
+to the GIL.
+
+The design splits three concerns that are usually conflated:
+
+**Partition** — :func:`plan_shards` cuts the geometry into ``S``
+contiguous view ranges (rows ``[v0*num_bins, v1*num_bins)``), each
+materialized as its own content-addressed cache entry (shard key =
+parent build inputs + view range), so warm loads are per-shard
+``np.load(mmap_mode="r")`` and any number of processes share one
+physical copy through the page cache.
+
+**Reduction order** — fixed by the *shard* partition, never by the
+worker count.  Forward is a concatenation of disjoint row slices (no
+reduction at all); adjoint folds per-shard back-projections in
+shard-index order (:func:`~repro.dist.transport.fixed_order_sum`).
+Per-shard kernels are clamped to ``runtime.threads // S`` in every
+execution mode.  Consequently ``REPRO_SHARD_WORKERS`` ∈ {1, 2, 4, ...}
+all produce bitwise-identical results at a given shard count — the
+knob trades wall time only, exactly like ``REPRO_BUILD_WORKERS``.
+
+**Execution** — in-process serial (``workers == 1``, also the
+degraded-mode fallback) or a persistent pool of spawned worker
+processes exchanging buffers through a
+:class:`~repro.dist.transport.Transport`.  Worker death is routed
+through :mod:`repro.resilience`: the pool respawns a dead worker once,
+and on repeated failure degrades permanently to the serial path —
+whose results are identical by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import config
+from repro.errors import ValidationError
+from repro.recon.linops import ProjectionOperator
+from repro.resilience import faults
+from repro.resilience.guards import check as guard_check
+from repro.utils.partition import split_evenly
+
+__all__ = [
+    "ShardSpec",
+    "plan_shards",
+    "shard_geometry",
+    "ShardContext",
+    "ShardExecutor",
+    "materialize_shard",
+    "resolve_shards",
+    "ShardedOperator",
+]
+
+
+@dataclass
+class ShardSpec:
+    """One contiguous view-range shard of an operator.
+
+    ``key`` is the shard's content-addressed cache key (None when built
+    uncached); ``nnz`` is filled in once the parent COO is known.
+    """
+
+    index: int
+    v0: int
+    v1: int
+    r0: int
+    r1: int
+    key: str | None = None
+    nnz: int | None = None
+
+    @property
+    def num_views(self) -> int:
+        return self.v1 - self.v0
+
+    @property
+    def num_rows(self) -> int:
+        return self.r1 - self.r0
+
+
+def resolve_shards(num_views: int, shards: int | None, workers: int) -> int:
+    """Shard count for *num_views*: explicit > config > auto.
+
+    Auto is ``max(4, workers)`` so the default partition stays stable
+    when the worker count changes underneath it — that stability is the
+    determinism guarantee.  Always clamped to ``num_views``.
+    """
+    n = shards if shards is not None else config.runtime.shards
+    if n is None or n <= 0:
+        n = max(4, workers)
+    return max(1, min(int(n), num_views))
+
+
+def plan_shards(geom, num_shards: int) -> list[ShardSpec]:
+    """Cut *geom*'s views into *num_shards* contiguous, non-empty ranges."""
+    ranges = split_evenly(geom.num_views, num_shards)
+    specs = []
+    for v0, v1 in ranges:
+        if v0 == v1:
+            continue
+        specs.append(
+            ShardSpec(
+                index=len(specs),
+                v0=v0,
+                v1=v1,
+                r0=v0 * geom.num_bins,
+                r1=v1 * geom.num_bins,
+            )
+        )
+    return specs
+
+
+def shard_geometry(geom, spec: ShardSpec):
+    """The sliced geometry a shard's format is built against.
+
+    Same image grid and detector, only the view window moves: the
+    shard's first view keeps the exact angle it has in the parent
+    (``start + v0 * delta`` — the same float expression the projector
+    sweep evaluates), so the shard's rows are bit-for-bit the parent's
+    rows ``[r0, r1)``.
+    """
+    return dataclasses.replace(
+        geom,
+        num_views=spec.num_views,
+        start_angle_deg=geom.start_angle_deg + spec.v0 * geom.delta_angle_deg,
+    )
+
+
+@dataclass
+class ShardContext:
+    """Everything needed to (re)materialize any shard of one operator.
+
+    Picklable by construction — the worker processes receive one of
+    these plus their owned shard list and rebuild locally, loading the
+    same cache entries the parent stored.
+    """
+
+    geom: object
+    fmt: str
+    projector: str
+    dtype: str
+    params: object = None
+    reference_mode: str = "ioblr"
+    #: per-shard kernel thread budget (``runtime.threads // num_shards``)
+    threads: int = 1
+    build_workers: int | None = None
+
+    def shard_key(self, spec: ShardSpec, num_shards: int) -> str:
+        from repro.core.cache import operator_key
+
+        return operator_key(
+            geom=self.geom,
+            fmt=self.fmt,
+            projector=self.projector,
+            dtype=np.dtype(self.dtype),
+            params=self.params,
+            reference_mode=self.reference_mode,
+            kind="shard",
+            extra={"views": [int(spec.v0), int(spec.v1)], "shards": int(num_shards)},
+        )
+
+
+def _shard_coo(coo, geom, spec: ShardSpec):
+    """Slice the parent COO sweep to a shard's row range (rows rebased).
+
+    The parent triplets are row-major sorted, so the slice is two
+    binary searches — no scan, no re-sort, and bit-for-bit the values
+    the full sweep produced for those rows.
+    """
+    from repro.sparse.coo import COOMatrix
+
+    lo = int(np.searchsorted(coo.rows, spec.r0, side="left"))
+    hi = int(np.searchsorted(coo.rows, spec.r1, side="left"))
+    return COOMatrix.from_coo(
+        (spec.num_rows, coo.shape[1]),
+        coo.rows[lo:hi] - spec.r0,
+        coo.cols[lo:hi],
+        coo.vals[lo:hi],
+        dtype=coo.dtype,
+    )
+
+
+def materialize_shard(ctx: ShardContext, spec: ShardSpec, cache=None, coo=None):
+    """Build (or cache-load) the sparse format for one shard.
+
+    Cold path: slice the parent COO (itself cached under its own key)
+    by the shard's row range and construct the format against the
+    sliced geometry.  Warm path: per-shard ``np.load(mmap_mode="r")``.
+    """
+    from repro import api
+
+    def build():
+        from repro.core.format_m import CSCVMMatrix
+        from repro.core.format_z import CSCVZMatrix
+
+        parent_coo = coo
+        if parent_coo is None:
+            parent_coo = api._cached_coo(
+                ctx.geom, ctx.projector, np.dtype(ctx.dtype), cache,
+                ctx.build_workers,
+            )
+        sub = _shard_coo(parent_coo, ctx.geom, spec)
+        cls = api._resolve_format_class(ctx.fmt)
+        is_cscv = issubclass(cls, (CSCVZMatrix, CSCVMMatrix))
+        kwargs = {}
+        if is_cscv:
+            kwargs = {
+                "reference_mode": ctx.reference_mode,
+                "build_workers": ctx.build_workers,
+                "threads": ctx.threads,
+            }
+        return api._construct_format(
+            ctx.fmt, sub,
+            geom=shard_geometry(ctx.geom, spec) if is_cscv else None,
+            params=ctx.params, dtype=np.dtype(ctx.dtype), **kwargs,
+        )
+
+    if cache is None or spec.key is None:
+        return build()
+    cls = api._resolve_format_class(ctx.fmt)
+    fmt, _ = cache.get_or_build(spec.key, cls, build, threads=ctx.threads)
+    return fmt
+
+
+class ShardExecutor:
+    """Per-shard forward/adjoint compute, shared by every execution mode.
+
+    The serial path and the worker processes run *this exact code* on
+    identical shard formats — which is what makes degradation (and the
+    ``workers=1`` reference) bitwise-equal to the distributed result.
+    """
+
+    def __init__(self, fmt):
+        self.fmt = fmt
+        self._tcsr = None
+
+    def forward(self, x: np.ndarray, vector: bool) -> np.ndarray:
+        return self.fmt.spmv(x) if vector else self.fmt.spmm(x)
+
+    def adjoint(self, y: np.ndarray, vector: bool) -> np.ndarray:
+        y = np.ascontiguousarray(y)
+        if vector:
+            native = getattr(self.fmt, "transpose_spmv", None)
+            if native is not None:
+                return native(y)
+            return self._transposed().spmv(y)
+        native_mm = getattr(self.fmt, "transpose_spmm", None)
+        if native_mm is not None:
+            return native_mm(y)
+        native = getattr(self.fmt, "transpose_spmv", None)
+        if native is not None:
+            out = np.empty((self.fmt.shape[1], y.shape[1]), dtype=self.fmt.dtype)
+            for j in range(y.shape[1]):
+                out[:, j] = native(np.ascontiguousarray(y[:, j]))
+            return out
+        return self._transposed().spmm(y)
+
+    def _transposed(self):
+        """Transposed CSR fallback (same construction as linops)."""
+        if self._tcsr is None:
+            from repro.sparse.csr import CSRMatrix
+
+            rows, cols, vals = self.fmt.to_coo_triplets()
+            m, n = self.fmt.shape
+            self._tcsr = CSRMatrix.from_coo(
+                (n, m), cols, rows, vals, dtype=self.fmt.dtype
+            )
+        return self._tcsr
+
+
+class _ShardedFormat:
+    """Duck-typed format facade a :class:`ShardedOperator` exposes as
+    ``op.fmt`` — concatenated triplets with row offsets back the
+    ``to_csr``/norms paths (OS-SART), delegated SpMV/SpMM keep direct
+    format users working."""
+
+    def __init__(self, op: "ShardedOperator", base_name: str, shape, dtype):
+        self._op = op
+        self.name = f"sharded[{base_name}]"
+        self.shape = shape
+        self.dtype = dtype
+
+    @property
+    def nnz(self) -> int:
+        return sum(s.nnz or 0 for s in self._op.shards)
+
+    def to_coo_triplets(self):
+        rows_all, cols_all, vals_all = [], [], []
+        for spec, ex in zip(self._op.shards, self._op._executors()):
+            r, c, v = ex.fmt.to_coo_triplets()
+            rows_all.append(np.asarray(r, dtype=np.int64) + spec.r0)
+            cols_all.append(np.asarray(c, dtype=np.int64))
+            vals_all.append(v)
+        return (
+            np.concatenate(rows_all),
+            np.concatenate(cols_all),
+            np.concatenate(vals_all),
+        )
+
+    def memory_bytes(self):
+        totals: dict[str, float] = {}
+        for ex in self._op._executors():
+            for k, v in ex.fmt.memory_bytes().items():
+                totals[k] = totals.get(k, 0) + v
+        return totals
+
+    def spmv(self, x, out=None):
+        return self._op.forward(x, out)
+
+    def spmm(self, X, out=None):
+        return self._op.forward(X, out)
+
+    def transpose_spmv(self, y, out=None):
+        return self._op.adjoint(y, out)
+
+
+class ShardedOperator(ProjectionOperator):
+    """A :class:`ProjectionOperator` executed shard-by-shard.
+
+    Drop-in for the solvers: ``forward``/``adjoint`` keep the base
+    class's guard screening and fault points, ``to_csr``/norms work via
+    concatenated triplets.  ``workers == 1`` never spawns a process;
+    ``workers > 1`` lazily starts a spawn-based pool on the first
+    dispatch and keeps it until :meth:`close`.
+    """
+
+    #: worker reply timeout before the worker is declared dead (seconds)
+    REPLY_TIMEOUT = 120.0
+
+    def __init__(
+        self,
+        ctx: ShardContext,
+        shards: list[ShardSpec],
+        *,
+        workers: int = 1,
+        cache=None,
+        transport: str | None = None,
+    ):
+        self.ctx = ctx
+        self.shards = shards
+        self.workers = max(1, min(int(workers), len(shards)))
+        self.cache = cache
+        self.transport_name = (
+            transport or config.runtime.shard_transport
+        ).strip().lower()
+        self._mode = "serial" if self.workers == 1 else "distributed"
+        self._execs: dict[int, ShardExecutor] = {}
+        self._coo = None
+        self._pool: list | None = None
+        self._transport = None
+        self._closed = False
+        # Serialises distributed dispatches: the pipe protocol and the
+        # shared buffers serve one in-flight collective at a time (the
+        # serving layer runs batches on several threads against one op).
+        self._dispatch_lock = threading.Lock()
+        geom = ctx.geom
+        super().__init__(
+            _ShardedFormat(self, ctx.fmt, geom.shape, np.dtype(ctx.dtype))
+        )
+
+    # ------------------------------------------------------------------ #
+    # materialization
+
+    def _parent_coo(self):
+        if self._coo is None:
+            from repro import api
+
+            self._coo = api._cached_coo(
+                self.ctx.geom, self.ctx.projector, np.dtype(self.ctx.dtype),
+                self.cache, self.ctx.build_workers,
+            )
+            rows = self._coo.rows
+            for spec in self.shards:
+                lo = int(np.searchsorted(rows, spec.r0, side="left"))
+                hi = int(np.searchsorted(rows, spec.r1, side="left"))
+                spec.nnz = hi - lo
+        return self._coo
+
+    def _executor(self, index: int) -> ShardExecutor:
+        ex = self._execs.get(index)
+        if ex is None:
+            spec = self.shards[index]
+            fmt = materialize_shard(
+                self.ctx, spec, cache=self.cache, coo=self._parent_coo()
+            )
+            if spec.nnz is None:
+                spec.nnz = int(fmt.nnz)
+            ex = ShardExecutor(fmt)
+            self._execs[index] = ex
+        return ex
+
+    def _executors(self) -> list[ShardExecutor]:
+        return [self._executor(s.index) for s in self.shards]
+
+    def ensure_cached(self) -> None:
+        """Build-and-store every shard entry (cold path, parent-side).
+
+        Called before the pool spawns so workers only ever warm-load;
+        a no-op when the cache is disabled (workers then rebuild from
+        the shared COO entry or, failing that, their own sweep).
+        """
+        if self.cache is None:
+            return
+        self._executors()
+
+    # ------------------------------------------------------------------ #
+    # topology (repro info / serve healthz)
+
+    def topology(self) -> dict:
+        """Shard layout for ``repro info`` and serve ``/healthz``."""
+        self._parent_coo()
+        return {
+            "mode": self._mode,
+            "workers": self.workers,
+            "transport": self.transport_name,
+            "num_shards": len(self.shards),
+            "threads_per_shard": self.ctx.threads,
+            "shards": [
+                {
+                    "index": s.index,
+                    "views": [s.v0, s.v1],
+                    "rows": [s.r0, s.r1],
+                    "nnz": s.nnz,
+                }
+                for s in self.shards
+            ],
+        }
+
+    # ------------------------------------------------------------------ #
+    # ProjectionOperator interface
+
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        x = faults.corrupt_array("operator.input.forward", np.asarray(x))
+        guard_check(x, "x", where="operator.forward")
+        vector = x.ndim == 1
+        n = self.shape[1]
+        if x.shape[0] != n:
+            raise ValidationError(f"x must have {n} rows, got {x.shape}")
+        res = self._apply("forward", x, vector)
+        guard_check(res, "A x", where="operator.forward", kind="output")
+        if out is None:
+            return res
+        out[:] = res
+        return out
+
+    def adjoint(self, y: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        y = faults.corrupt_array("operator.input.adjoint", np.asarray(y))
+        guard_check(y, "y", where="operator.adjoint")
+        vector = y.ndim == 1
+        m = self.shape[0]
+        if y.shape[0] != m:
+            raise ValidationError(f"y must have {m} rows, got {y.shape}")
+        res = self._apply("adjoint", y, vector)
+        guard_check(res, "A^T y", where="operator.adjoint", kind="output")
+        if out is None:
+            return res
+        out[:] = res
+        return out
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def _apply(self, op: str, operand: np.ndarray, vector: bool) -> np.ndarray:
+        from repro.obs import metrics as obs_metrics
+
+        operand = np.ascontiguousarray(operand, dtype=self.dtype)
+        if self._mode == "distributed":
+            try:
+                with self._dispatch_lock:
+                    res = self._apply_distributed(op, operand, vector)
+                obs_metrics.counter(
+                    "dist.dispatch.distributed",
+                    "sharded dispatches executed on the worker pool",
+                ).inc()
+                return res
+            except _PoolBroken as exc:
+                self._degrade(str(exc))
+        obs_metrics.counter(
+            "dist.dispatch.serial",
+            "sharded dispatches executed on the in-process serial path",
+        ).inc()
+        return self._apply_serial(op, operand, vector)
+
+    def _apply_serial(self, op: str, operand: np.ndarray, vector: bool):
+        from repro.dist.transport import fixed_order_sum
+        from repro.obs import perf
+
+        m, n = self.shape
+        k = 1 if vector else operand.shape[1]
+        if op == "forward":
+            y = np.empty((m, k), dtype=self.dtype)
+            for spec in self.shards:
+                t0 = time.perf_counter()
+                res = self._executor(spec.index).forward(operand, vector)
+                perf.record_shard("forward", time.perf_counter() - t0)
+                y[spec.r0:spec.r1] = res.reshape(spec.num_rows, k)
+            return y[:, 0] if vector else y
+        partials = np.empty((len(self.shards), n, k), dtype=self.dtype)
+        for spec in self.shards:
+            t0 = time.perf_counter()
+            res = self._executor(spec.index).adjoint(
+                operand[spec.r0:spec.r1], vector
+            )
+            perf.record_shard("adjoint", time.perf_counter() - t0)
+            partials[spec.index] = res.reshape(n, k)
+        t0 = time.perf_counter()
+        acc = fixed_order_sum(partials)
+        perf.record_reduce("adjoint", time.perf_counter() - t0)
+        return acc[:, 0] if vector else acc
+
+    def _apply_distributed(self, op: str, operand: np.ndarray, vector: bool):
+        from repro.dist.transport import fixed_order_sum
+        from repro.obs import perf
+
+        self._ensure_pool()
+        m, n = self.shape
+        k = 1 if vector else operand.shape[1]
+        tp = self._transport
+        operand2d = operand.reshape(operand.shape[0], k)
+        cmd: dict = {"op": op, "vector": vector}
+        if op == "forward":
+            cmd["x"] = tp.scatter("x", operand2d)
+            cmd["y"], out_view = tp.allgather("y", (m, k), self.dtype)
+        else:
+            cmd["y"] = tp.scatter("yin", operand2d)
+            cmd["p"], out_view = tp.reduce_slots(
+                "p", (n, k), self.dtype, len(self.shards)
+            )
+        try:
+            shard_seconds = self._dispatch(cmd)
+        except _PoolBroken:
+            # Drop the shm view before the exception propagates: the
+            # traceback pins this frame, and a live view would make the
+            # transport's close() unable to release the segment.
+            out_view = None  # noqa: F841
+            raise
+        for sec in shard_seconds:
+            perf.record_shard(op, sec)
+        if op == "forward":
+            res = np.array(out_view, copy=True)
+            return res[:, 0] if vector else res
+        t0 = time.perf_counter()
+        acc = fixed_order_sum(out_view)
+        perf.record_reduce(op, time.perf_counter() - t0)
+        return acc[:, 0] if vector else acc
+
+    # ------------------------------------------------------------------ #
+    # pool management
+
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        from repro.dist.transport import get_transport
+        from repro.dist.worker import spawn_worker
+
+        self.ensure_cached()
+        self._parent_coo()
+        self._transport = get_transport(self.transport_name)
+        owned = split_evenly(len(self.shards), self.workers)
+        pool = []
+        try:
+            for w, (s0, s1) in enumerate(owned):
+                pool.append(
+                    spawn_worker(self._worker_init(list(range(s0, s1))))
+                )
+        except Exception as exc:
+            for handle in pool:
+                handle.kill()
+            self._transport.close()
+            self._transport = None
+            raise _PoolBroken(f"worker spawn failed: {exc}") from exc
+        self._pool = pool
+
+    def _worker_init(self, owned: list[int]) -> dict:
+        cache_root = None
+        if self.cache is not None:
+            cache_root = str(self.cache.root)
+        return {
+            "ctx": self.ctx,
+            "shards": [
+                (s.index, s.v0, s.v1, s.r0, s.r1, s.key) for s in self.shards
+            ],
+            "owned": owned,
+            "cache_root": cache_root,
+            "backend": config.runtime.backend,
+            "faults": config.runtime.faults,
+        }
+
+    def _dispatch(self, cmd: dict) -> list[float]:
+        """Send *cmd* to every worker; one respawn per worker, then give up.
+
+        Raises :class:`_PoolBroken` when a worker fails twice — the
+        caller degrades to the serial path, which recomputes everything
+        (partial shm writes from the failed attempt are simply unused).
+        """
+        from repro.obs import metrics as obs_metrics
+
+        shard_seconds: list[float] = []
+        for i, handle in enumerate(self._pool):
+            reply = handle.request(cmd, timeout=self.REPLY_TIMEOUT)
+            if reply is None or not reply.get("ok", False):
+                why = "died" if reply is None else reply.get("error", "error")
+                if handle.respawned:
+                    raise _PoolBroken(
+                        f"worker {i} failed twice ({why}); degrading"
+                    )
+                obs_metrics.counter(
+                    "dist.respawns", "shard workers respawned after a failure"
+                ).inc()
+                handle.kill()
+                from repro.dist.worker import spawn_worker
+
+                handle = spawn_worker(
+                    self._worker_init(handle.owned), respawned=True
+                )
+                self._pool[i] = handle
+                reply = handle.request(cmd, timeout=self.REPLY_TIMEOUT)
+                if reply is None or not reply.get("ok", False):
+                    raise _PoolBroken(f"worker {i} failed after respawn")
+            shard_seconds.extend(reply.get("seconds", ()))
+        return shard_seconds
+
+    def _degrade(self, reason: str) -> None:
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.counter(
+            "dist.degraded",
+            "sharded operators degraded permanently to serial execution",
+        ).inc()
+        warnings.warn(
+            f"sharded operator degraded to in-process serial execution: "
+            f"{reason} (results are unchanged — the reduction order is "
+            f"fixed by the shard partition)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self._stop_pool()
+        self._mode = "degraded"
+
+    def _stop_pool(self) -> None:
+        if self._pool is not None:
+            for handle in self._pool:
+                handle.stop()
+            self._pool = None
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    def close(self) -> None:
+        """Stop worker processes and release shared-memory segments."""
+        if not self._closed:
+            self._stop_pool()
+            self._closed = True
+
+    def __enter__(self) -> "ShardedOperator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class _PoolBroken(RuntimeError):
+    """Internal: the worker pool cannot serve this dispatch."""

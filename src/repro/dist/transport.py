@@ -1,0 +1,220 @@
+"""Transports moving operands and results between shard workers.
+
+A :class:`Transport` owns the buffers a :class:`~repro.dist.sharding.
+ShardedOperator` shares with its worker processes.  Three collective
+shapes cover the whole execution model:
+
+* :meth:`~Transport.scatter` — publish one operand array (``x`` for the
+  forward sweep, ``y`` for the adjoint) so every worker can read it;
+* :meth:`~Transport.allgather` — allocate an output whose *disjoint*
+  row slices the workers fill in place (the forward ``y``: each shard
+  owns rows ``[r0, r1)``, so concatenation needs no reduction at all);
+* :meth:`~Transport.reduce_slots` — allocate one partial-result slot
+  per shard (the adjoint back-projections); :func:`fixed_order_sum`
+  then folds the slots **in shard-index order**, which is what makes
+  the floating-point reduction independent of the worker count.
+
+Workers receive plain-dict descriptors (shm segment name, shape, dtype)
+inside command messages and attach with :func:`attach_view`; they never
+see the transport object itself.  The shared-memory implementation is
+the only one in-tree today — register alternatives (MPI windows, TCP
+rings) in :data:`TRANSPORTS`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Transport",
+    "SharedMemoryTransport",
+    "TRANSPORTS",
+    "get_transport",
+    "attach_view",
+    "fixed_order_sum",
+]
+
+
+class Transport(ABC):
+    """Buffer collectives between a sharded operator and its workers."""
+
+    #: Registry name (mirrors the :data:`TRANSPORTS` key).
+    name: str = "abstract"
+
+    @abstractmethod
+    def scatter(self, key: str, arr: np.ndarray) -> dict:
+        """Publish *arr* under logical buffer *key*; returns a descriptor
+        (plain JSON-safe dict) workers use to attach a read-only view."""
+
+    @abstractmethod
+    def allgather(self, key: str, shape: tuple, dtype) -> tuple[dict, np.ndarray]:
+        """Allocate an output buffer whose disjoint slices workers fill.
+
+        Returns ``(descriptor, parent_view)``: once every worker has
+        acknowledged its slice, *parent_view* **is** the gathered result.
+        """
+
+    @abstractmethod
+    def reduce_slots(
+        self, key: str, shape: tuple, dtype, slots: int
+    ) -> tuple[dict, np.ndarray]:
+        """Allocate *slots* partial-result buffers of *shape* each.
+
+        Returns ``(descriptor, parent_view)`` where the parent view has
+        shape ``(slots,) + shape``; fold it with :func:`fixed_order_sum`.
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release every buffer this transport owns."""
+
+
+def fixed_order_sum(slots: np.ndarray) -> np.ndarray:
+    """Fold partial-result slots in slot-index order, one add at a time.
+
+    The explicit left-to-right loop (not ``slots.sum(axis=0)``, whose
+    pairwise association may change with shape) pins the floating-point
+    association to the shard partition, so any worker count — including
+    the in-process serial path — produces bitwise-identical results.
+    """
+    acc = np.array(slots[0], copy=True)
+    for s in range(1, slots.shape[0]):
+        acc += slots[s]
+    return acc
+
+
+def _as_view(shm: shared_memory.SharedMemory, shape: tuple, dtype) -> np.ndarray:
+    n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    return np.frombuffer(
+        shm.buf, dtype=dtype, count=n
+    ).reshape(shape)
+
+
+class SharedMemoryTransport(Transport):
+    """POSIX shared-memory transport (``multiprocessing.shared_memory``).
+
+    Each logical buffer key maps to one segment, grown (never shrunk)
+    by replacing the segment when a publish outgrows it — the new
+    segment name travels in the next command's descriptor, so workers
+    simply attach the name they are told.  All segments are created and
+    unlinked by the parent; on Linux an unlinked segment stays valid for
+    processes that still map it, exactly like an unlinked file.
+    """
+
+    name = "shm"
+
+    def __init__(self) -> None:
+        self._segs: dict[str, shared_memory.SharedMemory] = {}
+        self._bytes_created = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _segment(self, key: str, nbytes: int) -> shared_memory.SharedMemory:
+        seg = self._segs.get(key)
+        if seg is not None and seg.size >= nbytes:
+            return seg
+        if seg is not None:
+            _release(seg)
+        seg = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        self._segs[key] = seg
+        self._bytes_created += seg.size
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.counter(
+            "dist.shm_bytes",
+            "bytes of shared-memory segments created by shard transports",
+        ).inc(seg.size)
+        return seg
+
+    def _descriptor(self, seg, shape: tuple, dtype) -> dict:
+        return {
+            "transport": self.name,
+            "shm": seg.name,
+            "shape": [int(s) for s in shape],
+            "dtype": str(np.dtype(dtype)),
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def scatter(self, key: str, arr: np.ndarray) -> dict:
+        arr = np.ascontiguousarray(arr)
+        seg = self._segment(key, arr.nbytes)
+        _as_view(seg, arr.shape, arr.dtype)[...] = arr
+        return self._descriptor(seg, arr.shape, arr.dtype)
+
+    def allgather(self, key: str, shape: tuple, dtype) -> tuple[dict, np.ndarray]:
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        seg = self._segment(key, nbytes)
+        view = _as_view(seg, tuple(shape), dtype)
+        return self._descriptor(seg, shape, dtype), view
+
+    def reduce_slots(
+        self, key: str, shape: tuple, dtype, slots: int
+    ) -> tuple[dict, np.ndarray]:
+        full = (int(slots),) + tuple(int(s) for s in shape)
+        return self.allgather(key, full, dtype)
+
+    def close(self) -> None:
+        for seg in self._segs.values():
+            _release(seg)
+        self._segs.clear()
+
+
+def _release(seg: shared_memory.SharedMemory) -> None:
+    """Unlink then close one segment, tolerating lingering array views.
+
+    Unlink first: it needs no mapping and must happen even when a still
+    -alive ``frombuffer`` view makes ``close()`` raise ``BufferError``
+    (the mapping is reclaimed at process exit regardless).
+    """
+    try:
+        seg.unlink()
+    except (OSError, FileNotFoundError):  # already reclaimed
+        pass
+    try:
+        seg.close()
+    except (BufferError, OSError):
+        pass
+
+
+def attach_view(descriptor: dict, cache: dict) -> np.ndarray:
+    """Worker-side attach: descriptor -> ndarray over the shared segment.
+
+    *cache* maps segment names to open ``SharedMemory`` handles so a
+    worker attaches each segment once per generation.  Spawned workers
+    inherit the parent's resource-tracker process, and registering the
+    same name twice is a set no-op there — so no unregister dance is
+    needed: the parent (the creator) remains the only unlinker.
+    """
+    name = descriptor["shm"]
+    shm = cache.get(name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=name)
+        cache[name] = shm
+    return _as_view(shm, tuple(descriptor["shape"]), np.dtype(descriptor["dtype"]))
+
+
+#: Registered transport factories, selected by ``REPRO_SHARD_TRANSPORT``.
+TRANSPORTS: dict[str, type[Transport]] = {
+    "shm": SharedMemoryTransport,
+}
+
+
+def get_transport(name: str | None = None) -> Transport:
+    """Instantiate the transport registered under *name* (default: config)."""
+    from repro import config
+
+    name = (name or config.runtime.shard_transport).strip().lower()
+    try:
+        cls = TRANSPORTS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown shard transport {name!r}; options: {sorted(TRANSPORTS)}"
+        ) from None
+    return cls()

@@ -1,0 +1,208 @@
+"""Shard worker process: materialize owned shards, serve SpMV/SpMM tasks.
+
+Workers are spawned (never forked — the parent may hold thread pools,
+an asyncio loop, or a loaded kernel library whose state must not be
+inherited mid-flight), receive one picklable init payload, rebuild
+their owned shards from the shared operator cache (warm path: the same
+``np.load(mmap_mode="r")`` entries the parent stored — one physical
+copy in the page cache across every process), and then loop on a duplex
+pipe answering ``forward``/``adjoint`` commands whose operands travel
+as :mod:`repro.dist.transport` descriptors.
+
+Each worker clamps its kernels to the per-shard thread budget
+(``runtime.threads // num_shards``, satellite of the OpenMP bugfix) via
+:func:`repro.kernels.dispatch.set_omp_threads`, so the pool never
+oversubscribes the host and the per-shard arithmetic is identical in
+every execution mode.
+
+Fault injection: the parent's ``REPRO_FAULTS`` plan travels in the init
+payload, and every task evaluates the ``dist.worker.task`` site —
+raising actions surface as error replies (the parent respawns once,
+then degrades to serial), while the ``exit`` directive hard-kills the
+process (``os._exit``), modelling an OOM kill or segfault.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+
+import numpy as np
+
+__all__ = ["worker_main", "spawn_worker", "WorkerHandle"]
+
+
+def worker_main(conn, init: dict) -> None:
+    """Entry point of one spawned shard worker (runs until ``stop``)."""
+    from repro import config
+    from repro.dist.sharding import ShardExecutor, ShardSpec, materialize_shard
+    from repro.dist.transport import attach_view
+    from repro.kernels import dispatch
+    from repro.resilience import faults
+
+    config.runtime.backend = init["backend"]
+    config.runtime.faults = init.get("faults", "")
+    ctx = init["ctx"]
+    # Per-shard thread clamp: identical arithmetic in every mode, and
+    # S shards x (threads // S) OpenMP threads never oversubscribe.
+    dispatch.set_omp_threads(ctx.threads)
+
+    cache = None
+    if init.get("cache_root"):
+        from repro.core.cache import OperatorCache
+
+        cache = OperatorCache(root=init["cache_root"])
+
+    specs = {
+        index: ShardSpec(index=index, v0=v0, v1=v1, r0=r0, r1=r1, key=key)
+        for index, v0, v1, r0, r1, key in init["shards"]
+    }
+    executors: dict[int, ShardExecutor] = {}
+
+    def executor(index: int) -> ShardExecutor:
+        ex = executors.get(index)
+        if ex is None:
+            ex = ShardExecutor(
+                materialize_shard(ctx, specs[index], cache=cache)
+            )
+            executors[index] = ex
+        return ex
+
+    shm_cache: dict = {}
+    owned = list(init["owned"])
+
+    def run_task(cmd: dict) -> list[float]:
+        # A dedicated frame so the numpy views over shared memory are
+        # dropped on return — lingering views would pin the mmap and
+        # make the final SharedMemory.close() raise BufferError.
+        seconds: list[float] = []
+        vector = bool(cmd["vector"])
+        op = cmd["op"]
+        if op == "forward":
+            x_view = attach_view(cmd["x"], shm_cache)
+            y_view = attach_view(cmd["y"], shm_cache)
+            x = x_view[:, 0] if vector else x_view
+            for index in owned:
+                spec = specs[index]
+                t0 = time.perf_counter()
+                res = executor(index).forward(x, vector)
+                seconds.append(time.perf_counter() - t0)
+                y_view[spec.r0:spec.r1] = res.reshape(spec.num_rows, -1)
+        elif op == "adjoint":
+            y_view = attach_view(cmd["y"], shm_cache)
+            p_view = attach_view(cmd["p"], shm_cache)
+            n = p_view.shape[1]
+            for index in owned:
+                spec = specs[index]
+                y = y_view[spec.r0:spec.r1]
+                t0 = time.perf_counter()
+                res = executor(index).adjoint(
+                    y[:, 0] if vector else y, vector
+                )
+                seconds.append(time.perf_counter() - t0)
+                p_view[spec.index] = res.reshape(n, -1)
+        else:
+            raise ValueError(f"unknown worker command {op!r}")
+        return seconds
+
+    while True:
+        try:
+            cmd = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        op = cmd.get("op")
+        if op == "stop":
+            try:
+                conn.send({"ok": True})
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        if op == "ping":
+            conn.send({"ok": True, "pid": os.getpid(), "owned": owned})
+            continue
+        try:
+            directive = faults.fire("dist.worker.task", op=op)
+            if directive == "exit":
+                os._exit(1)
+            conn.send({"ok": True, "seconds": run_task(cmd)})
+        except BaseException:
+            try:
+                conn.send({"ok": False, "error": traceback.format_exc(limit=4)})
+            except (BrokenPipeError, OSError):
+                break
+    for shm in shm_cache.values():
+        try:
+            shm.close()
+        except (BufferError, OSError):
+            pass
+
+
+class WorkerHandle:
+    """Parent-side handle: process + pipe + ownership bookkeeping."""
+
+    def __init__(self, proc, conn, owned: list[int], respawned: bool = False):
+        self.proc = proc
+        self.conn = conn
+        self.owned = owned
+        self.respawned = respawned
+
+    def request(self, cmd: dict, timeout: float) -> dict | None:
+        """Round-trip one command; ``None`` means the worker is dead
+        (send failed, reply timed out, or the pipe closed)."""
+        try:
+            self.conn.send(cmd)
+            if not self.conn.poll(timeout):
+                return None
+            return self.conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            return None
+
+    def stop(self) -> None:
+        """Graceful shutdown; escalates to kill after a short grace."""
+        try:
+            self.conn.send({"op": "stop"})
+            self.conn.poll(2.0)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():  # pragma: no cover - stuck worker
+            self.proc.terminate()
+            self.proc.join(timeout=2.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def kill(self) -> None:
+        try:
+            self.proc.terminate()
+            self.proc.join(timeout=2.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+def spawn_worker(init: dict, respawned: bool = False) -> WorkerHandle:
+    """Spawn one worker process and wait for its readiness ping."""
+    import multiprocessing as mp
+
+    ctx = mp.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    proc = ctx.Process(
+        target=worker_main,
+        args=(child_conn, init),
+        name=f"repro-shard-worker-{'-'.join(map(str, init['owned']))}",
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()
+    handle = WorkerHandle(proc, parent_conn, list(init["owned"]), respawned)
+    reply = handle.request({"op": "ping"}, timeout=120.0)
+    if reply is None or not reply.get("ok"):
+        handle.kill()
+        raise RuntimeError("shard worker failed to start")
+    return handle

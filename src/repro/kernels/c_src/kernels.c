@@ -978,7 +978,10 @@ EXPORT int64_t fan_strip_views_f64(
 }
 
 /* ------------------------------------------------------------------ */
-/* Utility: threads actually used by OpenMP (for diagnostics).          */
+/* Utility: OpenMP thread control.  The blocked CSCV drivers receive an
+ * explicit nthreads argument, but the plain `omp parallel for` kernels
+ * (CSR/CSC/ELL SpMV, CSR SpMM) run at the library-wide default -- which
+ * ignores `runtime.threads` unless the host process sets it here.       */
 
 EXPORT int kernels_omp_max_threads(void) {
 #ifdef _OPENMP
@@ -988,4 +991,12 @@ EXPORT int kernels_omp_max_threads(void) {
 #endif
 }
 
-EXPORT int kernels_abi_version(void) { return 5; }
+EXPORT void kernels_set_omp_threads(int nthreads) {
+#ifdef _OPENMP
+    if (nthreads >= 1) omp_set_num_threads(nthreads);
+#else
+    (void)nthreads;
+#endif
+}
+
+EXPORT int kernels_abi_version(void) { return 6; }

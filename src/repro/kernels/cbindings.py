@@ -193,6 +193,21 @@ class KernelLibrary:
         omp = self._lib.kernels_omp_max_threads
         omp.restype = ctypes.c_int
         self.omp_max_threads = int(omp())
+        setter = self._lib.kernels_set_omp_threads
+        setter.restype = None
+        setter.argtypes = [ctypes.c_int]
+        self._set_omp = setter
+
+    def set_omp_threads(self, nthreads: int) -> None:
+        """Set the library-wide OpenMP thread count (``omp_set_num_threads``).
+
+        The blocked CSCV drivers take an explicit per-call ``nthreads``,
+        but the plain ``omp parallel for`` kernels (CSR/CSC/ELL SpMV, CSR
+        SpMM) run at this library-wide default — without this call they
+        ignore ``runtime.threads`` entirely.
+        """
+        self._set_omp(int(nthreads))
+        self.omp_max_threads = int(self._lib.kernels_omp_max_threads())
 
     def get(self, name: str, dtype) -> object:
         """Typed callable for kernel *name* at *dtype*."""

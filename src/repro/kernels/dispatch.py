@@ -23,6 +23,51 @@ def _count(outcome: str, name: str) -> None:
     ).inc()
 
 
+#: Last thread count pushed into the compiled library via
+#: ``kernels_set_omp_threads`` (None = never synced this process).
+_omp_synced: int | None = None
+
+
+def _sync_omp_threads(lib) -> None:
+    """Push ``runtime.threads`` into the library's OpenMP default.
+
+    The blocked CSCV kernels take an explicit per-call thread count, but
+    the plain ``omp parallel for`` kernels (CSR/CSC/ELL SpMV, CSR SpMM)
+    run at the OpenMP library default, which used to ignore
+    ``runtime.threads``/``REPRO_THREADS`` entirely.  One int compare per
+    dispatch keeps them in lockstep with runtime changes.
+    """
+    global _omp_synced
+    want = int(config.runtime.threads)
+    if want != _omp_synced:
+        lib.set_omp_threads(want)
+        _omp_synced = want
+
+
+def set_omp_threads(n: int) -> bool:
+    """Explicitly pin the compiled library's OpenMP thread count.
+
+    Returns True when a compiled library was present to receive the
+    setting (sharding workers call this with their clamped budget so the
+    per-process kernels never oversubscribe the host).  Also updates
+    ``config.runtime.threads`` so the NumPy-threaded drivers and later
+    dispatch syncs agree with the pin.
+    """
+    global _omp_synced
+    n = max(1, int(n))
+    config.runtime.threads = n
+    if config.runtime.backend == "numpy":
+        return False
+    from repro.kernels.cbindings import load_library
+
+    lib = load_library()
+    if lib is None:
+        return False
+    lib.set_omp_threads(n)
+    _omp_synced = n
+    return True
+
+
 def get(name: str, dtype) -> object | None:
     """C kernel callable for *name*/*dtype*, or ``None`` for NumPy fallback."""
     if config.runtime.backend == "numpy":
@@ -40,6 +85,7 @@ def get(name: str, dtype) -> object | None:
             )
         _count("fallback", name)
         return None
+    _sync_omp_threads(lib)
     try:
         fn = lib.get(name, dtype)
     except Exception:

@@ -1,0 +1,239 @@
+"""Tests for repro.dist: sharded operators over a worker-process pool.
+
+The distributed layer's whole contract is *bitwise determinism*: the
+shard partition — not the worker count — fixes the floating-point
+reduction order, so forward, adjoint and SpMM results must be identical
+for any ``REPRO_SHARD_WORKERS``, including the in-process serial path
+and the post-failure degraded path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api, config
+from repro.dist import (
+    ShardedOperator,
+    fixed_order_sum,
+    plan_shards,
+    resolve_shards,
+    shard_geometry,
+)
+from repro.dist.transport import SharedMemoryTransport, attach_view, get_transport
+from repro.errors import ValidationError
+from repro.geometry.parallel_beam import ParallelBeamGeometry
+from repro.resilience import faults
+
+SIZE = 32
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return ParallelBeamGeometry.for_image(SIZE)
+
+
+@pytest.fixture(autouse=True)
+def _one_thread():
+    """Pin the kernel thread count so serial and worker-pool execution
+    share one per-shard thread budget (bitwise checks need it)."""
+    prev = config.runtime.threads
+    config.runtime.threads = 1
+    yield
+    config.runtime.threads = prev
+
+
+def _operands(op, k=3, seed=7):
+    rng = np.random.default_rng(seed)
+    m, n = op.shape
+    x = np.linspace(0.5, 1.5, n).astype(op.dtype)
+    X = np.ascontiguousarray(rng.random((n, k)), dtype=op.dtype)
+    y = rng.random(m).astype(op.dtype)
+    return x, X, y
+
+
+# --------------------------------------------------------------------- #
+# partitioning
+
+
+class TestPartition:
+    def test_resolve_precedence(self):
+        prev = config.runtime.shards
+        config.runtime.shards = 7
+        try:
+            assert resolve_shards(64, 3, 1) == 3       # explicit wins
+            assert resolve_shards(64, None, 1) == 7    # then config
+        finally:
+            config.runtime.shards = prev
+        assert resolve_shards(64, None, 1) == 4        # auto: max(4, w)
+        assert resolve_shards(64, None, 6) == 6
+        assert resolve_shards(3, None, 8) == 3         # clamped to views
+
+    def test_plan_covers_views_contiguously(self, geom):
+        for s in (1, 3, 4, 7):
+            shards = plan_shards(geom, s)
+            assert shards[0].v0 == 0
+            assert shards[-1].v1 == geom.num_views
+            for a, b in zip(shards, shards[1:]):
+                assert a.v1 == b.v0
+                assert a.r1 == b.r0
+            assert all(sp.num_views > 0 for sp in shards)
+
+    def test_shard_geometry_replays_sweep_angles(self, geom):
+        spec = plan_shards(geom, 4)[2]
+        sub = shard_geometry(geom, spec)
+        assert sub.num_views == spec.num_views
+        # the shard's angles are the parent's — same float expressions
+        assert np.array_equal(sub.view_angles(degrees=True),
+                              geom.view_angles(degrees=True)[spec.v0:spec.v1])
+
+    def test_fixed_order_sum_is_left_to_right(self, rng):
+        slots = rng.random((5, 11, 2)).astype(np.float32)
+        acc = slots[0].copy()
+        for s in range(1, 5):
+            acc = acc + slots[s]
+        assert np.array_equal(fixed_order_sum(slots), acc)
+
+
+# --------------------------------------------------------------------- #
+# transport
+
+
+class TestTransport:
+    def test_shm_roundtrip_and_reuse(self, rng):
+        tp = SharedMemoryTransport()
+        try:
+            arr = rng.random((6, 4)).astype(np.float32)
+            desc = tp.scatter("x", arr)
+            cache: dict = {}
+            view = attach_view(desc, cache)
+            assert np.array_equal(view, arr)
+
+            desc2, out = tp.allgather("y", (3, 2), np.float64)
+            attach_view(desc2, cache)[...] = 5.0
+            assert np.all(out == 5.0)
+
+            desc3, slots = tp.reduce_slots("p", (3, 2), np.float32, slots=4)
+            assert slots.shape == (4, 3, 2)
+
+            # growing a key replaces the segment under the same key
+            big = rng.random((64, 64)).astype(np.float32)
+            desc4 = tp.scatter("x", big)
+            assert desc4["shm"] != desc["shm"]
+            # numpy views pin the mmaps: drop them before closing, the
+            # same discipline the worker loop follows
+            del view, out, slots
+            for shm in cache.values():
+                shm.close()
+        finally:
+            tp.close()
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValidationError, match="unknown shard transport"):
+            get_transport("carrier-pigeon")
+
+
+# --------------------------------------------------------------------- #
+# serial sharded execution (no processes)
+
+
+class TestSerialSharding:
+    def test_forward_matches_unsharded_bitwise(self, geom):
+        # explicit shard_workers=1 keeps these serial even when the
+        # suite runs under a CI-wide REPRO_SHARD_WORKERS
+        plain = api.operator(geom, fmt="csr", shard_workers=1)
+        with api.operator(geom, fmt="csr", shards=5, shard_workers=1) as op:
+            assert isinstance(op, ShardedOperator)
+            x, X, y = _operands(op)
+            assert np.array_equal(op.forward(x), plain.forward(x))
+            assert np.array_equal(op.forward(X), plain.forward(X))
+            # adjoint association differs from the unsharded operator by
+            # design (fixed shard order) but must stay numerically close
+            assert np.allclose(op.adjoint(y), plain.adjoint(y),
+                               rtol=1e-6, atol=1e-9)
+
+    def test_shard_count_fixes_adjoint_bits(self, geom):
+        with api.operator(geom, fmt="csr", shards=4, shard_workers=1) as a, \
+                api.operator(geom, fmt="csr", shards=4, shard_workers=1) as b:
+            _, _, y = _operands(a)
+            assert np.array_equal(a.adjoint(y), b.adjoint(y))
+
+    def test_topology_reports_partition(self, geom):
+        with api.operator(geom, fmt="csr", shards=4, shard_workers=1) as op:
+            top = op.topology()
+            assert top["mode"] == "serial"
+            assert top["num_shards"] == 4
+            assert sum(s["nnz"] for s in top["shards"]) == op.fmt.nnz
+            assert top["shards"][0]["views"][0] == 0
+
+
+# --------------------------------------------------------------------- #
+# distributed execution (spawned worker pool)
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_bitwise_identical_to_serial(self, geom, workers):
+        """forward / adjoint / SpMM across REPRO_SHARD_WORKERS in
+        {1, 2, 4}: every worker count reproduces the serial bits."""
+        prev = config.runtime.shard_workers
+        config.runtime.shard_workers = 1
+        try:
+            serial = api.operator(geom, fmt="csr", shards=4)
+            x, X, y = _operands(serial)
+            fx, fX, ay = (serial.forward(x), serial.forward(X),
+                          serial.adjoint(y))
+            config.runtime.shard_workers = workers  # the env-backed knob
+            with api.operator(geom, fmt="csr", shards=4) as op:
+                assert op.workers == workers
+                assert np.array_equal(op.forward(x), fx)
+                assert np.array_equal(op.forward(X), fX)
+                assert np.array_equal(op.adjoint(y), ay)
+                assert op.topology()["mode"] == "distributed"
+        finally:
+            config.runtime.shard_workers = prev
+
+    def test_uneven_split_identical(self, geom):
+        """Shards that divide neither the views nor the worker count."""
+        with api.operator(geom, fmt="csr", shards=3,
+                          shard_workers=1) as serial, \
+                api.operator(geom, fmt="csr", shards=3,
+                             shard_workers=2) as op:
+            assert [s.num_views for s in op.shards] != []
+            x, X, y = _operands(serial)
+            assert np.array_equal(op.forward(x), serial.forward(x))
+            assert np.array_equal(op.adjoint(y), serial.adjoint(y))
+
+
+# --------------------------------------------------------------------- #
+# fault injection / degradation
+
+
+class TestChaos:
+    def test_worker_death_degrades_to_identical_serial(self, geom):
+        with api.operator(geom, fmt="csr", shards=4,
+                          shard_workers=1) as serial:
+            x, X, _ = _operands(serial)
+            fx, fX = serial.forward(x), serial.forward(X)
+        # every task hard-exits: spawn -> die -> respawn -> die -> degrade
+        with faults.inject("dist.worker.task:exit:every=1"):
+            with api.operator(geom, fmt="csr", shards=4,
+                              shard_workers=2) as op:
+                with pytest.warns(RuntimeWarning, match="degraded"):
+                    out = op.forward(x)
+                assert np.array_equal(out, fx)
+                assert op.topology()["mode"] == "degraded"
+                # later dispatches stay serial, still identical
+                assert np.array_equal(op.forward(X), fX)
+
+    def test_single_death_respawns_and_stays_distributed(self, geom):
+        with api.operator(geom, fmt="csr", shards=4,
+                          shard_workers=1) as serial:
+            x, X, _ = _operands(serial)
+            fx, fX = serial.forward(x), serial.forward(X)
+        # fault state is per-process: every worker dies on its 2nd task,
+        # and its respawn (a fresh process, count reset) takes the retry
+        with faults.inject("dist.worker.task:exit:every=2"):
+            with api.operator(geom, fmt="csr", shards=4,
+                              shard_workers=2) as op:
+                assert np.array_equal(op.forward(x), fx)    # task 1: clean
+                assert np.array_equal(op.forward(X), fX)    # task 2: dies
+                assert op.topology()["mode"] == "distributed"

@@ -359,7 +359,9 @@ class TestLoadCscvDirEviction:
     def saved(self, geom, tmp_path):
         from repro.core.io import save_cscv_dir
 
-        fmt = operator(geom, fmt="cscv-z", cache=False).fmt
+        # a monolithic (unsharded) format: this class tests the on-disk
+        # CSCV entry layout, which sharded facades don't expose
+        fmt = operator(geom, fmt="cscv-z", cache=False, shard_workers=1).fmt
         d = tmp_path / "entry"
         save_cscv_dir(d, fmt.data)
         return d
