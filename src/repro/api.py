@@ -432,7 +432,9 @@ class ReconstructionResult:
         stay light; empty for analytic solvers (FBP).
     iterations : int
         Iterations actually run (completed sweeps; watchdog-discarded
-        sweeps do not count).
+        sweeps do not count).  For a resumed run this is the *total*
+        including the pre-checkpoint iterations; ``history`` covers only
+        the post-resume part.
     stop_reason : str
         ``"max_iterations"`` (budget exhausted), ``"converged"``
         (tolerance or breakdown early-exit), ``"restarted"`` (watchdog
@@ -476,6 +478,7 @@ def reconstruct(
     x0: np.ndarray | None = None,
     callback=None,
     watchdog=None,
+    resume_from=None,
     **params,
 ) -> ReconstructionResult:
     """Run any registered solver on *op* — the unified reconstruction API.
@@ -505,6 +508,16 @@ def reconstruct(
         Passed through to iterative solvers; ``callback`` may be the
         legacy 3-argument form or an
         :class:`~repro.recon.events.IterationEvent` consumer.
+    resume_from : CheckpointState, optional
+        Continue an interrupted run from a
+        :class:`~repro.recon.checkpoint.CheckpointState` (solvers with
+        the ``resume`` capability).  The checkpoint must come from the
+        same solver under the same validated parameterisation — the
+        stored ``params_hash`` is checked and a mismatch raises
+        :class:`~repro.errors.ValidationError` rather than resuming a
+        silently different run.  The result is bitwise-identical to the
+        uninterrupted run; ``iterations`` counts the pre-checkpoint
+        iterations too.
     **params
         Solver parameters, validated against the solver's schema.
         Unknown or out-of-range names raise
@@ -536,11 +549,36 @@ def reconstruct(
             f"(capability: needs_geom)"
         )
 
+    start = 0
+    if resume_from is not None:
+        from repro.recon.checkpoint import solver_params_hash
+
+        if not spec.supports("resume"):
+            raise ValidationError(
+                f"solver {spec.name!r} does not support resume_from "
+                f"(capability: resume)"
+            )
+        ckpt_solver = resume_from.solver.replace("_", "-")
+        if ckpt_solver != spec.name:
+            raise ValidationError(
+                f"resume_from is a {ckpt_solver!r} checkpoint; this run "
+                f"is {spec.name!r}"
+            )
+        expected_hash = solver_params_hash(spec.name, validated)
+        if resume_from.params_hash and resume_from.params_hash != expected_hash:
+            raise ValidationError(
+                f"resume_from was checkpointed under a different "
+                f"{spec.name!r} parameterisation (params hash "
+                f"{resume_from.params_hash} != {expected_hash}); "
+                "resuming would not continue the same run"
+            )
+        start = resume_from.k + 1
+
     history: list = []
     user_cb = as_event_callback(callback)
 
     def _recorder(event) -> None:
-        history.append(event.with_x(None))
+        history.append(event.stripped())
         if user_cb is not None:
             user_cb(event)
 
@@ -554,13 +592,13 @@ def reconstruct(
     image = spec.runner(
         op, sinogram, geom=geom, x0=x0,
         callback=_recorder if iterative else None,
-        watchdog=wd, **validated,
+        watchdog=wd, resume_from=resume_from, **validated,
     )
     wall = time.perf_counter() - t0
 
     if not iterative:
         stop = "analytic"
-    elif len(history) >= validated.get("iterations", 0):
+    elif start + len(history) >= validated.get("iterations", 0):
         stop = "max_iterations"
     elif wd is not None and wd.restarts > 0:
         stop = "restarted"
@@ -569,7 +607,7 @@ def reconstruct(
     return ReconstructionResult(
         image=image,
         history=tuple(history),
-        iterations=len(history),
+        iterations=start + len(history),
         stop_reason=stop,
         wall_seconds=wall,
         solver=spec.name,

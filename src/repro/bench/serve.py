@@ -164,6 +164,9 @@ def run_serve_bench(
     for level in concurrency_levels:
         payloads = [payload(i) for i in range(jobs_per_level)]
         with ServiceRunner(config) as runner:
+            # gate on readiness, not liveness — a journal-enabled runner
+            # only admits jobs once its recovery replay has finished
+            runner.wait_ready(timeout=60.0)
             records.append(_run_level(runner, payloads, level))
     return records
 

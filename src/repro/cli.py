@@ -427,9 +427,17 @@ def _cmd_reconstruct(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    import time as _time
+    import signal
+    import threading as _threading
 
+    from repro import config as repro_config
     from repro.serve import ServeConfig, ServiceRunner, serve_http
+
+    journal_dir = args.journal_dir
+    if journal_dir is None:
+        journal_dir = repro_config.journal_dir()
+    elif journal_dir.lower() == "none":
+        journal_dir = None
 
     config = ServeConfig(
         workers=args.workers,
@@ -439,22 +447,44 @@ def _cmd_serve(args) -> int:
         default_deadline_s=args.deadline,
         shard_workers=args.shard_workers,
         shard_transport=args.shard_transport,
+        journal_dir=journal_dir,
+        recover=args.recover,
+        ckpt_every=args.ckpt_every,
+        drain_timeout_s=args.drain_timeout,
     )
     runner = ServiceRunner(config).start()
     server = serve_http(runner, host=args.host, port=args.port)
+    stop_event = _threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop_event.set())
+    signal.signal(signal.SIGINT, lambda *_: stop_event.set())
     shard_note = ""
     if (config.shard_workers or 0) > 1:
         shard_note = f", shard_workers={config.shard_workers}"
+    journal_note = f", journal={journal_dir}" if journal_dir else ", no journal"
     print(f"repro serve listening on http://{args.host}:{server.port} "
           f"(workers={config.workers}, max_batch={config.max_batch}, "
-          f"queue depth {config.max_queue_depth}/tenant{shard_note})")
+          f"queue depth {config.max_queue_depth}/tenant"
+          f"{shard_note}{journal_note})")
     print("endpoints: POST /v1/reconstruct, GET /v1/jobs/<id>[/progress], "
-          "GET /metrics, GET /healthz")
+          "GET /metrics, GET /healthz, GET /readyz")
+    if journal_dir and config.recover:
+        runner.wait_ready(timeout=600.0)
+        rec = runner.stats().get("recovery", {})
+        print(f"recovery: {rec.get('state')} "
+              f"(records={rec.get('records', 0)}, "
+              f"resumed={rec.get('resumed', 0)}, "
+              f"restarted={rec.get('restarted', 0)}, "
+              f"restored={rec.get('restored', 0)}, "
+              f"failed={rec.get('failed', 0)})")
     try:
-        while True:
-            _time.sleep(3600)
-    except KeyboardInterrupt:
-        print("\nshutting down", file=sys.stderr)
+        stop_event.wait()
+        print("\nsignal received; draining "
+              f"(timeout {config.drain_timeout_s:g}s)", file=sys.stderr)
+        summary = runner.drain()
+        print(f"drain: suspended={summary.get('suspended', 0)} "
+              f"abandoned={summary.get('abandoned', 0)} "
+              f"queued_failed={summary.get('queued_failed', 0)} "
+              f"clean={summary.get('clean')}", file=sys.stderr)
     finally:
         server.stop()
         runner.stop()
@@ -665,6 +695,22 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: REPRO_SHARD_WORKERS; 1 disables)")
     sv.add_argument("--shard-transport", default=None,
                     help="shard transport (default: REPRO_SHARD_TRANSPORT)")
+    sv.add_argument("--journal-dir", default=None,
+                    help="durable job journal directory (default: "
+                         "REPRO_JOURNAL_DIR or <cache>/journal; "
+                         "'none' disables journaling)")
+    sv.add_argument("--recover", dest="recover", action="store_true",
+                    default=True,
+                    help="replay the journal on boot and resume "
+                         "interrupted jobs (default)")
+    sv.add_argument("--no-recover", dest="recover", action="store_false",
+                    help="skip journal replay on boot")
+    sv.add_argument("--ckpt-every", type=int, default=None,
+                    help="solver checkpoint cadence in iterations "
+                         "(default: REPRO_CKPT_EVERY)")
+    sv.add_argument("--drain-timeout", type=float, default=30.0,
+                    help="seconds SIGTERM/SIGINT drain waits for "
+                         "in-flight batches to finish or checkpoint")
 
     kn = sub.add_parser("kernels", help="compiled kernel library status / build")
     kn.add_argument("action", nargs="?", choices=("status", "build"),

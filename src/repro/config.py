@@ -46,6 +46,15 @@ Environment variables
     not the worker count — fixes the floating-point reduction order, so
     results are bitwise-identical for any ``REPRO_SHARD_WORKERS`` at a
     given shard count.
+``REPRO_CKPT_EVERY``
+    Solver checkpoint cadence for crash-safe serving: persist a resumable
+    :class:`~repro.recon.checkpoint.CheckpointState` every N iterations
+    (default 5; checkpointing itself is opt-in per run).  See
+    :mod:`repro.recon.checkpoint`.
+``REPRO_JOURNAL_DIR``
+    Directory of the durable job journal the serving layer writes
+    (write-ahead JSONL + payload spill + checkpoints).  Default:
+    ``<cache root>/journal``.  See :mod:`repro.serve.journal`.
 ``REPRO_GUARD``
     Numerical guard level: ``off`` (default, also ``0``), ``inputs``
     (``1`` — screen operator/solver inputs for NaN/Inf) or ``full``
@@ -185,6 +194,21 @@ def env_faults() -> str:
     return os.environ.get("REPRO_FAULTS", "").strip()
 
 
+#: Default solver checkpoint cadence (iterations between checkpoints).
+DEFAULT_CKPT_EVERY = 5
+
+
+def env_ckpt_every() -> int:
+    """``REPRO_CKPT_EVERY``: checkpoint cadence in iterations (default 5)."""
+    raw = os.environ.get("REPRO_CKPT_EVERY")
+    if raw:
+        n = int(raw)
+        if n < 1:
+            raise ValueError("REPRO_CKPT_EVERY must be >= 1")
+        return n
+    return DEFAULT_CKPT_EVERY
+
+
 def env_trace() -> tuple[bool, str | None]:
     """Interpret ``REPRO_TRACE``: (enabled, explicit dump path or None)."""
     raw = os.environ.get("REPRO_TRACE", "").strip()
@@ -237,6 +261,16 @@ def cache_dir() -> str:
 def operator_cache_dir() -> str:
     """Directory of the persistent operator cache (``<root>/operators``)."""
     return os.path.join(cache_root(), "operators")
+
+
+def journal_dir() -> str:
+    """Directory of the serving job journal (``REPRO_JOURNAL_DIR``).
+
+    Default: ``<cache root>/journal``.
+    """
+    return os.environ.get("REPRO_JOURNAL_DIR") or os.path.join(
+        cache_root(), "journal"
+    )
 
 
 #: Default operator-cache size budget: 4 GiB.
@@ -314,6 +348,9 @@ class RuntimeConfig:
     #: View-range shard count (``REPRO_SHARDS``); 0 = auto
     #: (``max(4, shard_workers)``).  Fixes the reduction order.
     shards: int = field(default_factory=env_shards)
+    #: Solver checkpoint cadence in iterations (``REPRO_CKPT_EVERY``);
+    #: consumed by the crash-safe serving layer, opt-in per run.
+    ckpt_every: int = field(default_factory=env_ckpt_every)
 
 
 #: Singleton runtime configuration.

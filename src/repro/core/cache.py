@@ -48,6 +48,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.resilience import faults
 from repro.resilience.retry import backoff_delays
+from repro.utils.durable import fsync_file, replace_durable, write_bytes_durable
 
 #: bump when the entry layout (entry.json schema, file naming) changes
 CACHE_SCHEMA = 1
@@ -202,11 +203,7 @@ class OperatorCache:
             stats = {}
         stats[what] = int(stats.get(what, 0)) + n
         try:
-            stats_path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=stats_path.parent, suffix=".tmp")
-            with os.fdopen(fd, "w") as fh:
-                json.dump(stats, fh)
-            os.replace(tmp, stats_path)
+            write_bytes_durable(stats_path, json.dumps(stats).encode("utf-8"))
         except OSError:  # read-only cache dir: keep serving, drop the count
             pass
 
@@ -263,9 +260,11 @@ class OperatorCache:
                 }
                 (tmp / _ENTRY_JSON).write_text(json.dumps(entry, indent=1))
                 (tmp / _STAMP).touch()
+                for staged in tmp.iterdir():
+                    fsync_file(staged)
                 if path.exists():
                     shutil.rmtree(path)
-                os.replace(tmp, path)
+                replace_durable(tmp, path)
             except BaseException:
                 shutil.rmtree(tmp, ignore_errors=True)
                 raise
@@ -371,9 +370,11 @@ class OperatorCache:
             }
             (tmp / _ENTRY_JSON).write_text(json.dumps(entry, indent=1))
             (tmp / _STAMP).touch()
+            for staged in tmp.iterdir():
+                fsync_file(staged)
             if path.exists():
                 shutil.rmtree(path)
-            os.replace(tmp, path)
+            replace_durable(tmp, path)
         except BaseException:
             shutil.rmtree(tmp, ignore_errors=True)
             raise

@@ -15,8 +15,10 @@ shape) in two layouts:
   lazily paged, and shared read-only across worker processes through the
   OS page cache.
 
-Both writers are atomic (temp name + ``os.replace``) so a killed process
-can never leave a truncated entry behind.
+Both writers are atomic *and durable* (temp name + fsync +
+``os.replace`` + directory fsync via :mod:`repro.utils.durable`) so a
+killed process — or a power cut — can never leave a truncated entry
+behind.
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ import numpy as np
 from repro.core.builder import CSCVData
 from repro.core.params import CSCVParams
 from repro.errors import FormatError
+from repro.utils.durable import fsync_file, replace_durable
 
 #: bump when the array layout changes
 FORMAT_VERSION = 1
@@ -95,9 +98,10 @@ def cscv_data_from_arrays(
 def save_cscv(path, data: CSCVData) -> None:
     """Write *data* to *path* as a compressed ``.npz`` (atomically).
 
-    The archive is assembled in a temp file in the same directory and
-    ``os.replace``d into place, so *path* either holds the complete old
-    content or the complete new content — never a truncated archive.
+    The archive is assembled in a temp file in the same directory,
+    fsynced, and ``os.replace``d into place (directory fsynced too), so
+    *path* either holds the complete old content or the complete new
+    content — never a truncated archive, even across a power cut.
     """
     path = Path(path)
     arrays = {name: getattr(data, name) for name in _ARRAYS}
@@ -107,7 +111,7 @@ def save_cscv(path, data: CSCVData) -> None:
     try:
         with os.fdopen(fd, "wb") as fh:
             np.savez_compressed(fh, _meta=cscv_meta_array(data), **arrays)
-        os.replace(tmp, path)
+        replace_durable(tmp, path)
     except BaseException:
         try:
             os.unlink(tmp)
@@ -251,9 +255,11 @@ META_FILE = "_meta.npy"
 def save_cscv_dir(path, data: CSCVData) -> Path:
     """Write *data* as a directory of raw ``.npy`` files (atomically).
 
-    Arrays are staged into a sibling temp directory and the whole
-    directory is ``os.replace``d into place, so concurrent readers see
-    either no entry or a complete one.  Returns the final path.
+    Arrays are staged into a sibling temp directory (each file fsynced)
+    and the whole directory is ``os.replace``d into place with the
+    parent directory fsynced, so concurrent readers see either no entry
+    or a complete one — and the entry survives a power cut.  Returns
+    the final path.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -264,9 +270,11 @@ def save_cscv_dir(path, data: CSCVData) -> Path:
         np.save(tmp / META_FILE, cscv_meta_array(data))
         for name in _ARRAYS:
             np.save(tmp / f"{name}.npy", getattr(data, name))
+        for staged in tmp.iterdir():
+            fsync_file(staged)
         if path.exists():
             shutil.rmtree(path)
-        os.replace(tmp, path)
+        replace_durable(tmp, path)
     except BaseException:
         shutil.rmtree(tmp, ignore_errors=True)
         raise

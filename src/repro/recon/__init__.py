@@ -18,6 +18,14 @@ run at high frequency with a fixed matrix.  This package provides:
 
 from repro.recon.art import art_reconstruct, kaczmarz_sweep
 from repro.recon.cgls import cgls_reconstruct
+from repro.recon.checkpoint import (
+    CheckpointState,
+    CheckpointWriter,
+    column_state,
+    load_checkpoint,
+    save_checkpoint,
+    solver_params_hash,
+)
 from repro.recon.events import IterationEvent, as_event_callback
 from repro.recon.fbp import fbp_reconstruct
 from repro.recon.icd import icd_reconstruct
@@ -37,6 +45,12 @@ __all__ = [
     "ProjectionOperator",
     "IterationEvent",
     "as_event_callback",
+    "CheckpointState",
+    "CheckpointWriter",
+    "column_state",
+    "load_checkpoint",
+    "save_checkpoint",
+    "solver_params_hash",
     "SOLVERS",
     "Param",
     "SolverSpec",

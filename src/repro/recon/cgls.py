@@ -37,6 +37,7 @@ def cgls_reconstruct(
     damping: float = 0.0,
     callback=None,
     watchdog=None,
+    resume_from=None,
 ) -> np.ndarray:
     """Run CGLS; returns the iterate with all math in float64 accumulators.
 
@@ -60,6 +61,14 @@ def cgls_reconstruct(
         instead re-initialises the whole CG recurrence (``r``, ``s``,
         ``p``, ``gamma``) from the best iterate seen — the standard cure
         for a recurrence drifting from the true residual.
+    resume_from : CheckpointState, optional
+        Continue an interrupted run from a
+        :class:`~repro.recon.checkpoint.CheckpointState`: the complete
+        CG recurrence (``x``, ``r``, ``s``, ``p``, ``gamma``,
+        ``gamma0``, ``active``) is restored verbatim — *not* re-derived
+        from the iterate, which would change the bits — and the loop
+        starts at ``k + 1``, matching the uninterrupted run exactly.
+        Incompatible with ``x0`` and ``watchdog``.
     """
     if iterations < 1:
         raise ValidationError("iterations must be >= 1")
@@ -69,6 +78,11 @@ def cgls_reconstruct(
     y, was_1d = as_column_batch(sinogram, m, "sinogram", op.dtype)
     guard_check(y, "sinogram", where="cgls")
     k_cols = y.shape[1]
+    if resume_from is not None and x0 is not None:
+        raise ValidationError(
+            "x0 cannot be combined with resume_from (the checkpoint is "
+            "the starting iterate)"
+        )
     if x0 is None:
         x = np.zeros((n, k_cols), dtype=np.float64)
     else:
@@ -82,13 +96,57 @@ def cgls_reconstruct(
         s = op.adjoint(r.astype(op.dtype)).astype(np.float64) - damping * xk
         return r, s, s.copy(), np.einsum("ij,ij->j", s, s)
 
-    r, s, p, gamma = init_recurrence(x)
-    gamma0 = np.where(gamma > 0, gamma, 1.0)
-    active = np.ones(k_cols, dtype=bool)
+    start = 0
+    if resume_from is not None:
+        # restore the recurrence verbatim: re-deriving it from x alone
+        # (init_recurrence) would change the conjugate directions and
+        # with them the bits of every later iterate
+        arrays = resume_from.require(
+            "cgls", {"x", "r", "s", "p", "gamma", "gamma0", "active"}
+        )
+        expected = {
+            "x": (n, k_cols), "r": (m, k_cols), "s": (n, k_cols),
+            "p": (n, k_cols), "gamma": (k_cols,), "gamma0": (k_cols,),
+            "active": (k_cols,),
+        }
+        for name, shape in expected.items():
+            got = np.asarray(arrays[name]).shape
+            if got != shape:
+                raise ValidationError(
+                    f"cgls checkpoint {name} has shape {got}; this "
+                    f"problem needs {shape}"
+                )
+        x = np.array(arrays["x"], dtype=np.float64, copy=True)
+        r = np.array(arrays["r"], dtype=np.float64, copy=True)
+        s = np.array(arrays["s"], dtype=np.float64, copy=True)
+        p = np.array(arrays["p"], dtype=np.float64, copy=True)
+        gamma = np.array(arrays["gamma"], dtype=np.float64, copy=True)
+        gamma0 = np.array(arrays["gamma0"], dtype=np.float64, copy=True)
+        active = np.array(arrays["active"], dtype=bool, copy=True)
+        start = resume_from.k + 1
+    else:
+        r, s, p, gamma = init_recurrence(x)
+        gamma0 = np.where(gamma > 0, gamma, 1.0)
+        active = np.ones(k_cols, dtype=bool)
 
     wd = resolve_watchdog(watchdog, solver="cgls")
+    if wd is not None and resume_from is not None:
+        raise ValidationError(
+            "watchdog cannot be combined with resume_from (restart "
+            "interventions make the run non-resumable bitwise)"
+        )
     x_init = x.copy() if wd is not None else None
     cb = as_event_callback(callback)
+
+    def _state() -> dict:
+        # lazy checkpoint capture; called from the callback it sees the
+        # top-of-next-iteration recurrence (the beta/p/gamma advance runs
+        # before the callback — see the loop tail)
+        return {
+            "x": x.copy(), "r": r.copy(), "s": s.copy(), "p": p.copy(),
+            "gamma": gamma.copy(), "gamma0": gamma0.copy(),
+            "active": active.copy(),
+        }
 
     residual_gauge = obs_metrics.gauge(
         "cgls.residual", "last CGLS normal-equation residual norm"
@@ -98,7 +156,7 @@ def cgls_reconstruct(
     meter = obs_perf.ConvergenceMeter(
         "cgls", y_norm=float(np.sqrt(gamma0.sum())) or 1.0, rtol=rtol
     )
-    for k in range(iterations):
+    for k in range(start, iterations):
         active &= gamma > rtol * rtol * gamma0
         if not active.any():
             break
@@ -119,7 +177,7 @@ def cgls_reconstruct(
             event = IterationEvent(
                 k=k, x=x, residual_norm=float(np.linalg.norm(r)),
                 normal_residual_norm=rnorm, meaning=NORMAL_RESIDUAL,
-                solver="cgls",
+                solver="cgls", state_provider=_state,
             )
             if wd is not None and wd.observe_event(event) == "restart":
                 x = np.array(
@@ -136,12 +194,15 @@ def cgls_reconstruct(
             event,
             seconds=obs_perf.clock() - it_t0 if obs_perf.active else None,
         )
-        if cb is not None:
-            xk = x.astype(op.dtype)
-            cb(event.with_x(xk[:, 0] if was_1d else xk))
+        # advance the recurrence BEFORE the callback (bitwise-neutral
+        # reorder: nothing in between reads beta/p/gamma) so a checkpoint
+        # captured at callback time holds top-of-next-iteration state
         beta = np.zeros(k_cols)
         np.divide(gamma_new, gamma, out=beta, where=active & (gamma > 0))
         p = s + beta[None, :] * p
         gamma = gamma_new
+        if cb is not None:
+            xk = x.astype(op.dtype)
+            cb(event.with_x(xk[:, 0] if was_1d else xk))
     out = x.astype(op.dtype)
     return out[:, 0] if was_1d else out

@@ -57,6 +57,15 @@ class IterationEvent:
         checks: ``"residual"`` or ``"normal_residual"``.
     solver : str
         Registry name of the emitting solver (``"sirt"``, ``"cgls"``, ...).
+    state_provider : callable or None
+        Zero-argument callable returning a dict of the solver's *complete*
+        internal state arrays (named copies), from which a
+        :class:`~repro.recon.checkpoint.CheckpointState` can be built that
+        resumes the run bitwise-identically.  Lazy on purpose — capturing
+        state copies every array, so consumers that don't checkpoint pay
+        nothing.  Contract: call it *during* the callback, synchronously;
+        it reads the solver's live locals and a deferred call would see a
+        later iteration's state.
     """
 
     k: int
@@ -65,6 +74,7 @@ class IterationEvent:
     normal_residual_norm: float | None
     meaning: str = RESIDUAL
     solver: str = ""
+    state_provider: Callable[[], dict] | None = None
 
     @property
     def norm(self) -> float:
@@ -76,6 +86,12 @@ class IterationEvent:
     def with_x(self, x: np.ndarray) -> "IterationEvent":
         """Copy of this event against a different iterate (same norms)."""
         return replace(self, x=x)
+
+    def stripped(self) -> "IterationEvent":
+        """Copy with the heavy payloads removed (``x`` and
+        ``state_provider``) — the form history keeps so results stay light
+        and no solver locals are pinned alive."""
+        return replace(self, x=None, state_provider=None)
 
 
 def _positional_arity(fn: Callable) -> int | None:

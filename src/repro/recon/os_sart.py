@@ -60,10 +60,18 @@ def os_sart_reconstruct(
     nonneg: bool = True,
     callback=None,
     watchdog=None,
+    resume_from=None,
 ) -> np.ndarray:
     """Run OS-SART for *iterations* full passes over all subsets.
 
     With ``num_subsets=1`` this reduces to plain SART.
+
+    ``resume_from`` continues an interrupted run from a
+    :class:`~repro.recon.checkpoint.CheckpointState` captured after pass
+    ``k``: the float64 iterate is restored verbatim and the loop starts
+    at ``k + 1``, bitwise-identical to the uninterrupted run (the subset
+    scalings are recomputed deterministically from the matrix).
+    Incompatible with ``x0`` and ``watchdog``.
 
     ``watchdog`` (bool or ResidualWatchdog) enables the divergence
     guard; its residual stream is a per-pass proxy — the root of the
@@ -80,7 +88,23 @@ def os_sart_reconstruct(
     y, was_1d = as_column_batch(sinogram, m, "sinogram", csr.dtype)
     guard_check(y, "sinogram", where="os_sart")
     k_cols = y.shape[1]
-    if x0 is None:
+    start = 0
+    if resume_from is not None:
+        if x0 is not None:
+            raise ValidationError(
+                "x0 cannot be combined with resume_from (the checkpoint "
+                "is the starting iterate)"
+            )
+        arrays = resume_from.require("os_sart", {"x"})
+        xr = np.asarray(arrays["x"])
+        if xr.shape != (n, k_cols):
+            raise ValidationError(
+                f"os_sart checkpoint x has shape {xr.shape}; this "
+                f"problem needs {(n, k_cols)}"
+            )
+        x = np.array(xr, dtype=np.float64, copy=True)
+        start = resume_from.k + 1
+    elif x0 is None:
         x = np.zeros((n, k_cols), dtype=np.float64)
     else:
         x0b, x0_1d = as_column_batch(x0, n, "x0", np.float64)
@@ -100,14 +124,24 @@ def os_sart_reconstruct(
         pieces.append((sub, rows, inv_r, inv_c))
 
     wd = resolve_watchdog(watchdog, solver="os_sart", relax=relax)
+    if wd is not None and resume_from is not None:
+        raise ValidationError(
+            "watchdog cannot be combined with resume_from (restart "
+            "interventions make the run non-resumable bitwise)"
+        )
     x_init = x.copy() if wd is not None else None
     cb = as_event_callback(callback)
+
+    def _state() -> dict:
+        # lazy checkpoint capture: x is mutated in place, so a call from
+        # the callback copies the post-pass iterate
+        return {"x": x.copy()}
 
     iter_counter = obs_metrics.counter("os_sart.iterations", "OS-SART passes run")
     meter = obs_perf.ConvergenceMeter(
         "os_sart", y_norm=float(np.linalg.norm(y)) or 1.0
     )
-    for it in range(iterations):
+    for it in range(start, iterations):
         it_t0 = obs_perf.clock() if obs_perf.active else 0.0
         with span("os_sart.iter", k=it, subsets=len(pieces), batch=k_cols) as it_span:
             x_pass = x.copy() if wd is not None else None
@@ -147,6 +181,7 @@ def os_sart_reconstruct(
             cb(IterationEvent(
                 k=it, x=xk[:, 0] if was_1d else xk, residual_norm=rnorm,
                 normal_residual_norm=None, solver="os_sart",
+                state_provider=_state,
             ))
     out = x.astype(csr.dtype)
     return out[:, 0] if was_1d else out

@@ -13,7 +13,8 @@ solver silently ignores.  This module puts them behind one registry of
   parameters raise :class:`~repro.errors.ValidationError` messages that
   name the solver and its accepted parameters);
 * **capabilities** — ``iterative``, ``batch`` (accepts an (m, k)
-  sinogram stack), ``relax``, ``damping``, ``needs_geom`` — so generic
+  sinogram stack), ``relax``, ``damping``, ``needs_geom``, ``resume``
+  (accepts ``resume_from=`` checkpoints) — so generic
   callers (the :func:`repro.api.reconstruct` facade, the CLI, the
   serving layer) can branch on declared facts instead of solver names;
 * a **batch guard** — whether a *specific* parameterisation may be
@@ -185,34 +186,41 @@ class SolverSpec:
 
 
 def _run_sirt(op, sinogram, *, geom=None, x0=None, callback=None,
-              watchdog=None, **params):
+              watchdog=None, resume_from=None, **params):
     from repro.recon.sirt import sirt_reconstruct
 
     return sirt_reconstruct(
-        op, sinogram, x0=x0, callback=callback, watchdog=watchdog, **params
+        op, sinogram, x0=x0, callback=callback, watchdog=watchdog,
+        resume_from=resume_from, **params,
     )
 
 
 def _run_cgls(op, sinogram, *, geom=None, x0=None, callback=None,
-              watchdog=None, **params):
+              watchdog=None, resume_from=None, **params):
     from repro.recon.cgls import cgls_reconstruct
 
     return cgls_reconstruct(
-        op, sinogram, x0=x0, callback=callback, watchdog=watchdog, **params
+        op, sinogram, x0=x0, callback=callback, watchdog=watchdog,
+        resume_from=resume_from, **params,
     )
 
 
 def _run_art(op, sinogram, *, geom=None, x0=None, callback=None,
-             watchdog=None, **params):
+             watchdog=None, resume_from=None, **params):
     from repro.recon.art import art_reconstruct
 
+    if resume_from is not None:
+        raise ValidationError(
+            "solver 'art' does not support resume_from (capability: "
+            "resume)"
+        )
     return art_reconstruct(
         op, sinogram, x0=x0, callback=callback, watchdog=watchdog, **params
     )
 
 
 def _run_os_sart(op, sinogram, *, geom=None, x0=None, callback=None,
-                 watchdog=None, **params):
+                 watchdog=None, resume_from=None, **params):
     from repro.recon.os_sart import os_sart_reconstruct
 
     if geom is None:
@@ -222,18 +230,23 @@ def _run_os_sart(op, sinogram, *, geom=None, x0=None, callback=None,
         )
     return os_sart_reconstruct(
         op.to_csr(), geom, sinogram,
-        x0=x0, callback=callback, watchdog=watchdog, **params,
+        x0=x0, callback=callback, watchdog=watchdog,
+        resume_from=resume_from, **params,
     )
 
 
 def _run_fbp(op, sinogram, *, geom=None, x0=None, callback=None,
-             watchdog=None, **params):
+             watchdog=None, resume_from=None, **params):
     from repro.recon.fbp import fbp_reconstruct
 
     if geom is None:
         raise ValidationError(
             "solver 'fbp' requires geom= (the ramp filter needs the "
             "angular sampling)"
+        )
+    if resume_from is not None:
+        raise ValidationError(
+            "solver 'fbp' is analytic; resume_from= does not apply"
         )
     return fbp_reconstruct(op, sinogram, geom, **params)
 
@@ -268,7 +281,7 @@ SOLVERS: dict[str, SolverSpec] = {
                       doc="stop once ||resid||/||y|| falls below this "
                           "(0 disables)"),
             ),
-            capabilities=frozenset({"iterative", "batch", "relax"}),
+            capabilities=frozenset({"iterative", "batch", "relax", "resume"}),
             batch_guard=_sirt_batch_guard,
         ),
         SolverSpec(
@@ -283,7 +296,9 @@ SOLVERS: dict[str, SolverSpec] = {
                 Param("damping", float, 0.0, low=0.0,
                       doc="Tikhonov parameter lambda >= 0"),
             ),
-            capabilities=frozenset({"iterative", "batch", "damping"}),
+            capabilities=frozenset(
+                {"iterative", "batch", "damping", "resume"}
+            ),
             # per-column gamma/alpha/beta and the active-column freeze
             # keep every column bitwise equal to its solo run, rtol
             # included — no guard needed
@@ -315,7 +330,7 @@ SOLVERS: dict[str, SolverSpec] = {
                 _NONNEG,
             ),
             capabilities=frozenset(
-                {"iterative", "batch", "relax", "needs_geom"}
+                {"iterative", "batch", "relax", "needs_geom", "resume"}
             ),
         ),
         SolverSpec(

@@ -43,6 +43,7 @@ def sirt_reconstruct(
     rtol: float = 0.0,
     callback=None,
     watchdog=None,
+    resume_from=None,
 ) -> np.ndarray:
     """Run SIRT for *iterations* sweeps (early-exit on relative tolerance).
 
@@ -64,6 +65,14 @@ def sirt_reconstruct(
         :class:`~repro.errors.SolverError` carries the history.  Relax
         values above 2 (the classical convergence bound) are accepted
         precisely so a guarded run can recover from them.
+    resume_from : CheckpointState, optional
+        Continue an interrupted run from a
+        :class:`~repro.recon.checkpoint.CheckpointState` captured after
+        iteration ``k``: the iterate is restored verbatim and the loop
+        starts at ``k + 1``, producing output bitwise-identical to the
+        uninterrupted run under the same parameters.  Incompatible with
+        ``x0`` (the checkpoint *is* the start) and ``watchdog`` (a
+        restart-adjusted run is not bitwise-resumable).
     """
     if iterations < 1:
         raise ValidationError("iterations must be >= 1")
@@ -73,7 +82,23 @@ def sirt_reconstruct(
     y, was_1d = as_column_batch(sinogram, m, "sinogram", op.dtype)
     guard_check(y, "sinogram", where="sirt")
     k_cols = y.shape[1]
-    if x0 is None:
+    start = 0
+    if resume_from is not None:
+        if x0 is not None:
+            raise ValidationError(
+                "x0 cannot be combined with resume_from (the checkpoint "
+                "is the starting iterate)"
+            )
+        arrays = resume_from.require("sirt", {"x"})
+        xr = np.asarray(arrays["x"])
+        if xr.shape != (n, k_cols):
+            raise ValidationError(
+                f"sirt checkpoint x has shape {xr.shape}; this problem "
+                f"needs {(n, k_cols)}"
+            )
+        x = np.array(xr, dtype=op.dtype, copy=True)
+        start = resume_from.k + 1
+    elif x0 is None:
         x = np.zeros((n, k_cols), dtype=op.dtype)
     else:
         x0b, x0_1d = as_column_batch(x0, n, "x0", op.dtype)
@@ -88,20 +113,30 @@ def sirt_reconstruct(
     inv_c = np.divide(1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 1e-12)
 
     wd = resolve_watchdog(watchdog, solver="sirt", relax=relax)
+    if wd is not None and resume_from is not None:
+        raise ValidationError(
+            "watchdog cannot be combined with resume_from (restart "
+            "interventions make the run non-resumable bitwise)"
+        )
     x_init = x.copy() if wd is not None else None
     cb = as_event_callback(callback)
+
+    def _state() -> dict:
+        # lazy checkpoint capture: reads the live iterate at call time
+        # (i.e. post-update when called from the callback)
+        return {"x": x.copy()}
 
     residual_gauge = obs_metrics.gauge("sirt.residual", "last SIRT residual norm")
     iter_counter = obs_metrics.counter("sirt.iterations", "SIRT iterations run")
     meter = obs_perf.ConvergenceMeter("sirt", y_norm=y_norm, rtol=rtol)
-    for k in range(iterations):
+    for k in range(start, iterations):
         it_t0 = obs_perf.clock() if obs_perf.active else 0.0
         with span("sirt.iter", k=k, batch=k_cols) as it_span:
             resid = (y - op.forward(x)).astype(np.float64)
             rnorm = float(np.linalg.norm(resid))
             event = IterationEvent(
                 k=k, x=x, residual_norm=rnorm, normal_residual_norm=None,
-                solver="sirt",
+                solver="sirt", state_provider=_state,
             )
             if wd is not None and wd.observe_event(event) == "restart":
                 # discard this sweep: resume from the best iterate with

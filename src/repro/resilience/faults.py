@@ -31,6 +31,19 @@ site                             actions understood by the call site
                                  degrades to in-process serial)
 ``operator.input.<direction>``   ``nan`` / ``inf`` (poisoned operand);
                                  directions: ``forward``, ``adjoint``
+``journal.append``               ``oserror`` / ``enospc`` (job-journal
+                                 record cannot be written; the service
+                                 degrades and keeps serving)
+``journal.fsync``                ``oserror`` (fsync of a journal record
+                                 fails after the write)
+``ckpt.store``                   ``enospc`` / ``oserror`` (solver
+                                 checkpoint persistence fails; the
+                                 solve itself continues)
+``serve.crash``                  ``exit`` (hard ``os._exit(137)`` from
+                                 the solver event callback, right after
+                                 a checkpoint boundary — models a
+                                 kill -9 mid-iteration for the
+                                 crash-recovery CI job)
 ================================ =========================================
 
 Plans
@@ -73,15 +86,19 @@ from repro import config
 
 #: Named rule sets selectable via ``REPRO_FAULTS=<profile>``.  ``chaos``
 #: only includes faults whose recovery is bitwise-safe (cache rebuilds,
-#: lock timeouts, pool degradation), so a reconstruction under it must
-#: equal the clean run exactly.  ``kernel-chaos`` adds backend
-#: degradation, which changes the execution path (NumPy fallback).
+#: lock timeouts, pool degradation, journal/checkpoint persistence
+#: failures — durability degrades, results don't), so a reconstruction
+#: under it must equal the clean run exactly.  ``kernel-chaos`` adds
+#: backend degradation, which changes the execution path (NumPy
+#: fallback).
 PROFILES = {
     "chaos": (
         "cache.load.read:corrupt:every=3,"
         "cache.store.write:enospc:every=4,"
         "cache.lock:timeout:every=3,"
-        "pool.task.*:raise:every=5"
+        "pool.task.*:raise:every=5,"
+        "journal.append:oserror:every=7,"
+        "ckpt.store:enospc:every=3"
     ),
     "kernel-chaos": "kernel.build:fail,kernel.load:corrupt",
 }

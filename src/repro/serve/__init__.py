@@ -21,7 +21,12 @@ between — a service that
 * exposes everything over a stdlib-only HTTP JSON API
   (``POST /v1/reconstruct``, ``GET /v1/jobs/<id>``,
   ``GET /v1/jobs/<id>/progress``) next to the existing ``/metrics`` and
-  ``/healthz`` endpoints.
+  ``/healthz`` endpoints, plus a ``/readyz`` readiness probe;
+* survives crashes: a durable write-ahead **job journal**
+  (:class:`JobJournal`) plus periodic solver checkpoints let a
+  ``kill -9``'d service restart, replay, and finish interrupted jobs
+  **bitwise-identical** to never-interrupted runs; SIGTERM triggers a
+  graceful **drain** (stop admitting, checkpoint in-flight work).
 
 Entry points: ``repro serve`` (CLI), :class:`ServiceRunner` (embedded,
 thread-safe), :class:`ReconstructionService` (pure asyncio).
@@ -31,8 +36,10 @@ from repro.serve.jobs import (
     Job,
     JobRequest,
     QueueFullError,
+    ServiceUnavailableError,
     parse_job,
 )
+from repro.serve.journal import JobJournal, JournalReplay
 from repro.serve.service import (
     ReconstructionService,
     ServeConfig,
@@ -42,8 +49,11 @@ from repro.serve.http import serve_http
 
 __all__ = [
     "Job",
+    "JobJournal",
     "JobRequest",
+    "JournalReplay",
     "QueueFullError",
+    "ServiceUnavailableError",
     "parse_job",
     "ReconstructionService",
     "ServeConfig",

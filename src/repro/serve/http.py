@@ -14,7 +14,15 @@ Endpoints (all JSON unless noted):
 * ``GET /metrics`` — the whole metrics registry in Prometheus text
   (``serve.*`` series included), same exporter as
   :mod:`repro.obs.runtime`.
-* ``GET /healthz`` — liveness + queue stats.
+* ``GET /healthz`` — **liveness**: 200 whenever the process can answer,
+  with queue/recovery stats.  A draining or recovering service is alive.
+* ``GET /readyz`` — **readiness**: 200 only when the service is
+  admitting jobs; 503 while the journal replay is still running or a
+  drain is in progress.  Load balancers and ``repro bench serve`` gate
+  on this, not on ``/healthz``.
+
+A ``POST`` during drain/recovery gets 503 with a ``Retry-After`` header
+and a structured retryable body.
 
 Built on ``ThreadingHTTPServer`` only: handler threads call the
 thread-safe :class:`~repro.serve.service.ServiceRunner` bridge, so no
@@ -28,7 +36,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ReproError, ValidationError
-from repro.serve.jobs import QueueFullError
+from repro.serve.jobs import QueueFullError, ServiceUnavailableError
 from repro.serve.service import ServiceRunner
 
 __all__ = ["ServeHTTPServer", "serve_http"]
@@ -82,6 +90,14 @@ class _ServeHandler(BaseHTTPRequestHandler):
         try:
             payload = self._read_json()
             job = self.server.runner.submit(payload)
+        except ServiceUnavailableError as exc:
+            body = json.dumps(exc.payload).encode("utf-8")
+            self.send_response(503)
+            self.send_header("Content-Type", "application/json; charset=utf-8")
+            self.send_header("Retry-After", f"{exc.retry_after_s:g}")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         except QueueFullError as exc:
             self._send_json(429, exc.payload)
         except ValidationError as exc:
@@ -104,6 +120,17 @@ class _ServeHandler(BaseHTTPRequestHandler):
             return
         if path == "/healthz":
             self._send_json(200, {"status": "ok", **self.server.runner.stats()})
+            return
+        if path == "/readyz":
+            if self.server.runner.ready:
+                self._send_json(200, {"ready": True})
+            else:
+                stats = self.server.runner.stats()
+                self._send_json(503, {
+                    "ready": False,
+                    "draining": stats.get("draining", False),
+                    "recovery": stats.get("recovery", {}),
+                })
             return
         if path.startswith("/v1/jobs/"):
             rest = path[len("/v1/jobs/"):]

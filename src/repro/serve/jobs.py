@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import base64
 import binascii
-import itertools
 import json
 import threading
 import time
@@ -32,9 +31,12 @@ __all__ = [
     "Job",
     "JobRequest",
     "QueueFullError",
+    "ServiceUnavailableError",
     "parse_job",
+    "request_payload",
     "encode_array",
     "decode_sinogram",
+    "advance_job_ids",
 ]
 
 # Job lifecycle states.
@@ -49,12 +51,33 @@ TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
 
 _ACCEPTED_KEYS = frozenset({
     "tenant", "solver", "params", "geometry", "sinogram",
-    "fmt", "projector", "dtype", "deadline_s",
+    "fmt", "projector", "dtype", "deadline_s", "idempotency_key",
 })
 _ACCEPTED_GEOM_KEYS = frozenset({"size", "num_views"})
 _DTYPES = ("float32", "float64")
 
-_job_ids = itertools.count(1)
+_job_id_lock = threading.Lock()
+_last_job_id = 0
+
+
+def _next_job_id() -> int:
+    global _last_job_id
+    with _job_id_lock:
+        _last_job_id += 1
+        return _last_job_id
+
+
+def advance_job_ids(past: int) -> None:
+    """Ensure future job ids are numbered beyond *past*.
+
+    Restart recovery calls this with the highest id found in the journal
+    so re-enqueued jobs keep their identity and fresh submissions never
+    collide with them.  Only ever moves forward.
+    """
+    global _last_job_id
+    with _job_id_lock:
+        if past > _last_job_id:
+            _last_job_id = past
 
 
 class QueueFullError(ReproError):
@@ -73,6 +96,24 @@ class QueueFullError(ReproError):
             "tenant": tenant,
             "queued": depth,
             "max_queue_depth": max_depth,
+            "retryable": True,
+        }
+
+
+class ServiceUnavailableError(ReproError):
+    """The service is not admitting jobs (draining for shutdown, or still
+    replaying its journal).  Maps to HTTP 503 with ``Retry-After``.
+    """
+
+    def __init__(self, reason: str = "draining", retry_after_s: float = 5.0):
+        super().__init__(
+            f"service unavailable ({reason}); retry in {retry_after_s:g}s"
+        )
+        self.retry_after_s = retry_after_s
+        self.payload = {
+            "error": "unavailable",
+            "reason": reason,
+            "retry_after_s": retry_after_s,
             "retryable": True,
         }
 
@@ -149,6 +190,10 @@ class JobRequest:
     batch_key: str                # operator_key + solver + canonical params
     coalescible: bool             # may share a batch with key-equal jobs
     no_batch_reason: str | None   # why not, when coalescible is False
+    idempotency_key: str | None = None   # client-chosen submit dedup key
+    #: CheckpointState a recovered job resumes from (forces a solo run:
+    #: resuming mid-recurrence cannot join a fresh batch bitwise).
+    resume_from: object = None
 
 
 @dataclass
@@ -201,8 +246,10 @@ class Job:
             "tenant": req.tenant,
             "solver": req.solver,
             "params": dict(req.params),
-            "geometry": {"size": req.geom.image_size,
-                         "num_views": req.geom.num_views},
+            "geometry": (
+                {"size": req.geom.image_size, "num_views": req.geom.num_views}
+                if req.geom is not None else None  # unrecoverable tombstones
+            ),
             "fmt": req.fmt,
             "projector": req.projector,
             "operator_key": req.operator_key,
@@ -314,6 +361,14 @@ def parse_job(payload, *, default_deadline_s: float | None = None) -> JobRequest
         if not (deadline_s > 0):
             raise ValidationError("deadline_s must be > 0")
 
+    idempotency_key = payload.get("idempotency_key")
+    if idempotency_key is not None:
+        if (not isinstance(idempotency_key, str) or not idempotency_key
+                or len(idempotency_key) > 128):
+            raise ValidationError(
+                "idempotency_key must be a non-empty string (max 128 chars)"
+            )
+
     # operator_cache_key re-validates fmt / projector names.
     from repro.api import operator_cache_key
 
@@ -341,12 +396,41 @@ def parse_job(payload, *, default_deadline_s: float | None = None) -> JobRequest
         batch_key=batch_key,
         coalescible=no_batch_reason is None,
         no_batch_reason=no_batch_reason,
+        idempotency_key=idempotency_key,
     )
 
 
-def new_job(request: JobRequest) -> Job:
-    """Wrap a request in a fresh queued :class:`Job` with a unique id."""
-    job = Job(id=f"job-{next(_job_ids):06d}", request=request)
+def request_payload(req: JobRequest) -> dict:
+    """The JSON job payload equivalent to *req*, minus the sinogram.
+
+    What the journal persists with a submit record: feeding it back
+    through :func:`parse_job` (with the spilled sinogram re-attached)
+    rebuilds an equivalent request on recovery.
+    """
+    out = {
+        "tenant": req.tenant,
+        "solver": req.solver,
+        "params": dict(req.params),
+        "geometry": {"size": req.geom.image_size,
+                     "num_views": req.geom.num_views},
+        "fmt": req.fmt,
+        "projector": req.projector,
+        "dtype": req.dtype.name,
+    }
+    if req.deadline_s is not None:
+        out["deadline_s"] = req.deadline_s
+    if req.idempotency_key is not None:
+        out["idempotency_key"] = req.idempotency_key
+    return out
+
+
+def new_job(request: JobRequest, *, job_id: str | None = None) -> Job:
+    """Wrap a request in a fresh queued :class:`Job`.
+
+    ``job_id`` lets restart recovery re-instantiate a journaled job under
+    its original identity; fresh submissions get the next counter id.
+    """
+    job = Job(id=job_id or f"job-{_next_job_id():06d}", request=request)
     if request.deadline_s is not None:
         job.deadline_at = time.monotonic() + request.deadline_s
     return job

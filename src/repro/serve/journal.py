@@ -1,0 +1,346 @@
+"""Durable write-ahead job journal for the reconstruction service.
+
+Every externally-visible job transition is appended to one JSONL file
+(``<dir>/journal.jsonl``) with an fsync per record, so a crash — power
+loss included — loses at most the record being written.  Large binary
+payloads never go through the journal: sinograms (and result images) are
+**spilled** to content-addressed ``.npy`` files under ``<dir>/payloads``
+(named by the SHA-256 of their serialized bytes, written with the
+fsync-before-replace discipline of :mod:`repro.utils.durable`) and the
+journal carries only the reference.  Content addressing makes replayed
+duplicate submits free: the same sinogram hashes to the same file, which
+is never written twice.
+
+Record grammar (one JSON object per line)::
+
+    {"type": "submit",   "job_id", "t", "idempotency_key", "payload",
+                         "sinogram_ref"}
+    {"type": "start",    "job_id", "t", "batch_id", "batch_width"}
+    {"type": "finish",   "job_id", "t", "state", "error", "result_ref",
+                         "iterations", "stop_reason"}
+    {"type": "shutdown", "t"}
+
+``payload`` is the validated request minus the sinogram — everything
+:func:`~repro.serve.jobs.parse_job` needs to rebuild the
+:class:`~repro.serve.jobs.JobRequest` on recovery.  A trailing
+``shutdown`` record marks a clean stop; a journal without one was a
+crash and :meth:`JobJournal.replay` reports it as such.
+
+Replay is **corrupt-tail tolerant**: a torn or garbage line (the record
+being written when power died) ends the replay there, with the dropped
+line count surfaced instead of an exception — recovery proceeds from
+every record that survived.  Duplicate submits carrying the same
+idempotency key collapse to the first occurrence.
+
+Fault-injection sites (:mod:`repro.resilience.faults`): the append path
+fires ``journal.append`` before writing and ``journal.fsync`` before
+syncing, so chaos plans can make journaling fail deterministically; the
+service degrades (counts, keeps serving) rather than dying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.durable import fsync_dir, write_bytes_durable
+
+__all__ = [
+    "JobJournal",
+    "JournalReplay",
+    "ReplayedJob",
+]
+
+#: Journal format version, stamped on every record.
+_VERSION = 1
+
+#: Job states as journaled (mirrors repro.serve.jobs without the import).
+_TERMINAL = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass
+class ReplayedJob:
+    """One job's state as reconstructed from the journal."""
+
+    job_id: str
+    payload: dict
+    sinogram_ref: str
+    idempotency_key: str | None = None
+    state: str = "queued"
+    submitted_at: float = 0.0
+    error: dict | None = None
+    result_ref: str | None = None
+    iterations: int = 0
+    stop_reason: str | None = None
+
+    @property
+    def live(self) -> bool:
+        """True when the job never reached a terminal state (needs
+        recovery: it was queued or mid-solve at the crash)."""
+        return self.state not in _TERMINAL
+
+
+@dataclass
+class JournalReplay:
+    """Everything :meth:`JobJournal.replay` learned from the log."""
+
+    #: job_id -> ReplayedJob, in submit order.
+    jobs: dict = field(default_factory=dict)
+    #: The journal ended with a clean ``shutdown`` marker.
+    clean_shutdown: bool = False
+    #: Valid records applied.
+    records: int = 0
+    #: Lines dropped at a corrupt/truncated tail.
+    dropped: int = 0
+    #: Submits collapsed onto an earlier identical idempotency key.
+    duplicates: int = 0
+    #: Highest numeric job id seen (``job-000042`` -> 42); the restarted
+    #: service advances its id counter past it so ids never collide.
+    max_job_num: int = 0
+
+    def live_jobs(self) -> list:
+        return [j for j in self.jobs.values() if j.live]
+
+
+def _job_num(job_id: str) -> int:
+    try:
+        return int(str(job_id).rsplit("-", 1)[-1])
+    except (ValueError, IndexError):
+        return 0
+
+
+class JobJournal:
+    """Append-only fsync'd JSONL journal + content-addressed payload spill.
+
+    Thread-safe: one internal lock serialises appends (the scheduler and
+    worker threads all log through the same instance).  ``append`` and
+    the spill raise ``OSError`` on persistence failure — the service
+    catches, counts and keeps serving (availability over durability once
+    the disk itself is gone).
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.path = self.root / "journal.jsonl"
+        self.payload_dir = self.root / "payloads"
+        self.checkpoint_dir = self.root / "checkpoints"
+        for d in (self.root, self.payload_dir, self.checkpoint_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = None
+
+    # ------------------------------------------------------------- append
+
+    def append(self, type: str, **fields) -> None:
+        """Append one record durably (write + flush + fsync).
+
+        Fires the ``journal.append`` / ``journal.fsync`` fault sites.
+        Raises ``OSError`` when persistence fails.
+        """
+        from repro.resilience.faults import fire
+
+        record = {"type": type, "v": _VERSION, "t": time.time(), **fields}
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            fire("journal.append")
+            if self._fh is None:
+                fresh = not self.path.exists()
+                self._fh = open(self.path, "a", encoding="utf-8")
+                if fresh:
+                    fsync_dir(self.root)
+            self._fh.write(line)
+            self._fh.flush()
+            fire("journal.fsync")
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -------------------------------------------------------------- spill
+
+    def spill_array(self, arr: np.ndarray) -> str:
+        """Persist *arr* content-addressed; returns its reference.
+
+        The reference is the SHA-256 of the serialized ``.npy`` bytes —
+        identical arrays (replayed idempotent submits) share one file,
+        and an existing file is never rewritten.
+        """
+        buf = io.BytesIO()
+        np.save(buf, np.ascontiguousarray(arr), allow_pickle=False)
+        blob = buf.getvalue()
+        ref = hashlib.sha256(blob).hexdigest()
+        path = self.payload_dir / f"{ref}.npy"
+        if not path.exists():
+            write_bytes_durable(path, blob)
+        return ref
+
+    def load_array(self, ref: str) -> np.ndarray:
+        """Load a spilled array; raises ``OSError`` when missing and
+        :class:`ValueError` when the content does not match its address
+        (bit rot is detected, never silently served)."""
+        path = self.payload_dir / f"{ref}.npy"
+        blob = path.read_bytes()
+        if hashlib.sha256(blob).hexdigest() != ref:
+            raise ValueError(f"payload {ref} failed its content check")
+        return np.load(io.BytesIO(blob), allow_pickle=False)
+
+    def checkpoint_path(self, job_id: str) -> Path:
+        """Where the solver checkpoint for *job_id* lives."""
+        return self.checkpoint_dir / f"{job_id}.ckpt"
+
+    # ------------------------------------------------------ record helpers
+
+    def log_submit(self, job_id: str, payload: dict, sinogram_ref: str,
+                   idempotency_key: str | None) -> None:
+        self.append(
+            "submit", job_id=job_id, payload=payload,
+            sinogram_ref=sinogram_ref, idempotency_key=idempotency_key,
+        )
+
+    def log_start(self, job_id: str, *, batch_id=None,
+                  batch_width: int = 0) -> None:
+        self.append(
+            "start", job_id=job_id, batch_id=batch_id,
+            batch_width=batch_width,
+        )
+
+    def log_finish(self, job_id: str, state: str, *, error=None,
+                   result_ref=None, iterations: int = 0,
+                   stop_reason=None) -> None:
+        self.append(
+            "finish", job_id=job_id, state=state, error=error,
+            result_ref=result_ref, iterations=iterations,
+            stop_reason=stop_reason,
+        )
+
+    def log_shutdown(self) -> None:
+        """Clean-shutdown marker: replay after this is a no-op restart,
+        not crash recovery."""
+        self.append("shutdown")
+
+    # ------------------------------------------------------------- replay
+
+    def replay(self) -> JournalReplay:
+        """Reconstruct job states from the journal (corrupt-tail safe)."""
+        out = JournalReplay()
+        if not self.path.exists():
+            out.clean_shutdown = True  # no journal = nothing was lost
+            return out
+        by_key: dict = {}    # idempotency_key -> canonical job_id
+        alias: dict = {}     # duplicate job_id -> canonical job_id
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                if not isinstance(rec, dict):
+                    raise ValueError("record is not an object")
+                rtype = rec["type"]
+            except (ValueError, KeyError):
+                # torn tail: everything from here on is untrustworthy
+                out.dropped = sum(1 for l in lines[i:] if l.strip())
+                break
+            out.records += 1
+            out.clean_shutdown = rtype == "shutdown"
+            if rtype == "submit":
+                job_id = str(rec.get("job_id", ""))
+                key = rec.get("idempotency_key")
+                out.max_job_num = max(out.max_job_num, _job_num(job_id))
+                if key and key in by_key:
+                    alias[job_id] = by_key[key]
+                    out.duplicates += 1
+                    continue
+                if key:
+                    by_key[key] = job_id
+                out.jobs[job_id] = ReplayedJob(
+                    job_id=job_id,
+                    payload=rec.get("payload") or {},
+                    sinogram_ref=str(rec.get("sinogram_ref", "")),
+                    idempotency_key=key,
+                    submitted_at=float(rec.get("t", 0.0)),
+                )
+            elif rtype in ("start", "finish"):
+                job_id = alias.get(
+                    str(rec.get("job_id", "")), str(rec.get("job_id", ""))
+                )
+                job = out.jobs.get(job_id)
+                if job is None:
+                    continue  # start/finish without a surviving submit
+                if rtype == "start":
+                    job.state = "running"
+                else:
+                    job.state = str(rec.get("state", "failed"))
+                    job.error = rec.get("error")
+                    job.result_ref = rec.get("result_ref")
+                    job.iterations = int(rec.get("iterations") or 0)
+                    job.stop_reason = rec.get("stop_reason")
+        return out
+
+    # ------------------------------------------------------------ compact
+
+    def compact(self, replay: JournalReplay) -> dict:
+        """Rewrite the journal to just the live jobs; GC dead payloads.
+
+        Atomically replaces the log with fresh ``submit`` records for
+        every live job in *replay* — there is no window where a crash
+        could lose them.  Terminal jobs (already restored to the
+        in-memory history by recovery) are dropped from the log, and
+        payload / checkpoint files no longer referenced by any live job
+        are deleted.  Returns ``{"kept", "payloads_removed",
+        "checkpoints_removed"}``.
+        """
+        live = replay.live_jobs()
+        keep_refs = {j.sinogram_ref for j in live}
+        keep_ids = {j.job_id for j in live}
+        lines = [
+            json.dumps(
+                {
+                    "type": "submit", "v": _VERSION, "t": j.submitted_at,
+                    "job_id": j.job_id, "payload": j.payload,
+                    "sinogram_ref": j.sinogram_ref,
+                    "idempotency_key": j.idempotency_key,
+                },
+                separators=(",", ":"),
+            ) + "\n"
+            for j in live
+        ]
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            write_bytes_durable(self.path, "".join(lines).encode("utf-8"))
+        payloads_removed = 0
+        for p in self.payload_dir.glob("*.npy"):
+            if p.stem not in keep_refs:
+                try:
+                    p.unlink()
+                    payloads_removed += 1
+                except OSError:
+                    pass
+        checkpoints_removed = 0
+        for p in self.checkpoint_dir.glob("*.ckpt"):
+            if p.stem not in keep_ids:
+                try:
+                    p.unlink()
+                    checkpoints_removed += 1
+                except OSError:
+                    pass
+        return {
+            "kept": len(keep_ids),
+            "payloads_removed": payloads_removed,
+            "checkpoints_removed": checkpoints_removed,
+        }

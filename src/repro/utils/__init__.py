@@ -6,6 +6,14 @@ from repro.utils.arrays import (
     check_1d,
     ensure_dtype,
 )
+from repro.utils.durable import (
+    fsync_dir,
+    fsync_file,
+    replace_durable,
+    write_bytes_durable,
+    write_json_durable,
+    write_text_durable,
+)
 from repro.utils.partition import (
     chunk_ranges,
     greedy_balance,
@@ -19,6 +27,12 @@ __all__ = [
     "as_contiguous",
     "check_1d",
     "ensure_dtype",
+    "fsync_dir",
+    "fsync_file",
+    "replace_durable",
+    "write_bytes_durable",
+    "write_json_durable",
+    "write_text_durable",
     "chunk_ranges",
     "greedy_balance",
     "split_evenly",

@@ -1,0 +1,131 @@
+"""Durable filesystem writes: fsync-before-replace helpers.
+
+``os.replace`` alone gives *atomicity* (readers see either the old or
+the new content) but not *durability*: after a power loss or a hard
+kill, a file that was renamed into place can come back empty or stale
+because neither its data pages nor the directory entry were forced to
+disk.  The write-ahead job journal and the solver checkpoints of the
+crash-safe serving layer need the stronger contract, and the existing
+atomic writers (``save_cscv``, the operator-cache store, ``stats.json``)
+were one crash away from serving truncated data.
+
+The discipline implemented here is the standard one:
+
+1. write the new content to a temp file in the *same directory*;
+2. ``fsync`` the temp file so its data is on disk;
+3. ``os.replace`` it over the destination (atomic rename);
+4. ``fsync`` the containing directory so the rename itself is durable.
+
+On platforms or filesystems where directory fsync is unsupported the
+directory step degrades silently — the write is still atomic, just no
+more durable than before.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = [
+    "fsync_file",
+    "fsync_dir",
+    "replace_durable",
+    "write_bytes_durable",
+    "write_text_durable",
+    "write_json_durable",
+]
+
+
+def fsync_file(fd_or_path) -> None:
+    """Force a file's data and metadata to disk.
+
+    Accepts an open file descriptor (int) or a path.  Raises ``OSError``
+    on failure — callers that can degrade should catch it.
+    """
+    if isinstance(fd_or_path, int):
+        os.fsync(fd_or_path)
+        return
+    fd = os.open(os.fspath(fd_or_path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path) -> None:
+    """Force a directory entry table to disk (best-effort).
+
+    Needed after ``os.replace`` for the rename to survive power loss.
+    Unsupported targets (some network/virtual filesystems, Windows)
+    degrade silently: the rename stays atomic, merely not durable.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def replace_durable(tmp, dst) -> None:
+    """``os.replace(tmp, dst)`` with full fsync discipline.
+
+    *tmp* must live in the same directory as *dst* (the usual staging
+    pattern).  The temp file is fsynced before the rename and the parent
+    directory after it, so *dst* either holds the complete old content
+    or the complete new content — even across a power cut.
+
+    Works for staged *directories* too: the rename is fsynced the same
+    way (individual files inside a staged directory should already have
+    been fsynced by the caller where durability matters).
+    """
+    tmp = os.fspath(tmp)
+    dst = os.fspath(dst)
+    if not os.path.isdir(tmp):
+        fsync_file(tmp)
+    os.replace(tmp, dst)
+    fsync_dir(os.path.dirname(dst) or ".")
+
+
+def write_bytes_durable(path, data: bytes) -> Path:
+    """Atomically and durably write *data* to *path*.
+
+    Stages a temp file next to *path*, fsyncs it, renames it into place
+    and fsyncs the directory.  Returns *path*.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=path.name + ".", suffix=".tmp",
+                               dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        fsync_dir(path.parent)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def write_text_durable(path, text: str) -> Path:
+    """:func:`write_bytes_durable` for text (UTF-8)."""
+    return write_bytes_durable(path, text.encode("utf-8"))
+
+
+def write_json_durable(path, obj) -> Path:
+    """:func:`write_bytes_durable` for a JSON document."""
+    return write_bytes_durable(
+        path, json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    )

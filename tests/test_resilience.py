@@ -109,7 +109,9 @@ class TestFaultPlans:
 
     def test_profiles_expand(self):
         plan = parse_plan("chaos")
-        assert len(plan.rules) == 4
+        assert len(plan.rules) == 6
+        patterns = {r.pattern for r in plan.rules}
+        assert {"journal.append", "ckpt.store"} <= patterns
         assert faults.PROFILES["kernel-chaos"].startswith("kernel.build")
 
     @pytest.mark.parametrize("bad", [

@@ -26,7 +26,7 @@ from repro.serve import (
     parse_job,
     serve_http,
 )
-from repro.serve.jobs import CANCELLED, DONE, encode_array
+from repro.serve.jobs import CANCELLED, DONE, FAILED, encode_array
 
 SIZE = 32
 
@@ -246,12 +246,16 @@ class TestFairnessAndAdmission:
         finally:
             runner.stop()
 
-    def test_stop_cancels_queued_jobs(self, sinos):
+    def test_stop_fails_queued_jobs_retryable(self, sinos):
+        # shutdown is a service condition, not a client mistake: queued
+        # jobs fail with a structured retryable error, never "cancelled"
         runner = ServiceRunner(ServeConfig(workers=1)).start(run_scheduler=False)
         job = runner.submit(payload(sinos[0]))
         runner.stop()
-        assert job.state == CANCELLED
-        assert job.error["error"] == "service_stopped"
+        assert job.state == FAILED
+        assert job.error["error"] == "shutdown"
+        assert job.error["retryable"] is True
+        assert job.stop_reason == "shutdown"
         assert job.done.is_set()
 
 
